@@ -1,0 +1,56 @@
+"""Ablation A: the bridge pruning rules (Theorem 6, Corollary 3,
+Theorem 7).
+
+The paper claims "only a small fraction of the bridges needs to be
+examined" thanks to these rules but does not isolate them; this ablation
+disables them one at a time and reports the examined-bridge count b and
+the query time.
+"""
+
+import pytest
+
+from repro.bench.experiments.ablations import run_bridge_pruning
+from repro.bench.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def pruning_rows():
+    return run_bridge_pruning()
+
+
+def test_ablation_bridge_pruning(benchmark, pruning_rows, emit):
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.dps import DPSQuery
+    from repro.core.roadpart.query import RoadPartQueryProcessor
+    from repro.datasets.queries import window_query
+
+    network = dataset_network("USA-S")
+    index = dataset_index("USA-S")
+    query = DPSQuery.q_query(window_query(network, 0.04, seed=9090))
+    processor = RoadPartQueryProcessor(index)
+    benchmark.pedantic(lambda: processor.query(query),
+                       rounds=3, iterations=1)
+
+    headers = ["configuration", "examined b", "valid bv", "time (s)",
+               "|V'|"]
+    cells = [[r.configuration, r.examined, r.valid, r.seconds, r.dps_size]
+             for r in pruning_rows]
+    emit("ablation_bridge_pruning", render_table(
+        "Ablation A -- bridge pruning rules (USA-S, eps=4%)", headers,
+        cells))
+    _assert_shape(pruning_rows)
+
+
+def _assert_shape(pruning_rows):
+    by_name = {r.configuration: r for r in pruning_rows}
+    full = by_name["all rules (paper)"]
+    none = by_name["no pruning at all"]
+    # Each disabled rule can only increase the examined count.
+    assert full.examined <= by_name["no Corollary 3"].examined
+    assert full.examined <= by_name["no Theorem 7"].examined
+    assert by_name["no Cor 3 + no Thm 7"].examined <= none.examined
+    # The paper's headline: with all rules, b is a small fraction.
+    assert full.examined <= max(3, 0.25 * none.examined)
+    # Valid bridges found with pruning are never lost: pruning only
+    # discards provably useless bridges.
+    assert full.dps_size <= none.dps_size

@@ -1,0 +1,54 @@
+"""Ablation C: partitioning design choices.
+
+Contour strategy (the paper's boundary walk vs the robust convex hull
+fallback) x border selection (equi-length, the paper's choice "because
+road networks are distance-based", vs equi-frequency).  Measured by max
+region size M (the paper's partition-evenness criterion), |R|, build
+time and the size of the DPS answered for a standard query.
+"""
+
+import pytest
+
+from repro.bench.experiments.ablations import run_partitioning_choices
+from repro.bench.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def partitioning_rows():
+    return run_partitioning_choices()
+
+
+def test_ablation_partitioning(benchmark, partitioning_rows, emit):
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.roadpart.index import build_index
+
+    network = dataset_network("COL-S")
+    bridges = dataset_index("COL-S").bridges
+    benchmark.pedantic(
+        lambda: build_index(network, 8, contour_strategy="hull",
+                            bridges=bridges),
+        rounds=3, iterations=1)
+
+    headers = ["configuration", "build (s)", "|R|", "max region M",
+               "|V'| on std query"]
+    cells = [[r.configuration, r.build_seconds, r.region_count,
+              r.max_region_size, r.dps_size] for r in partitioning_rows]
+    emit("ablation_partitioning", render_table(
+        "Ablation C -- contour and border selection (COL-S, eps=20%)",
+        headers, cells))
+    _assert_shape(partitioning_rows)
+
+
+def _assert_shape(partitioning_rows):
+    for r in partitioning_rows:
+        assert r.region_count > 8          # genuinely partitioned
+        assert r.max_region_size < 2400    # no all-in-one region
+        assert r.dps_size > 0
+    # The paper computes a tight contour because 'a tighter bounding
+    # polygon ... gives a partitioning of higher quality'; with the same
+    # border budget the walked contour should not partition worse (M not
+    # larger) than the loose hull contour by more than noise.
+    by_config = {r.configuration: r for r in partitioning_rows}
+    walk = by_config["walk contour, equi-length"]
+    hull = by_config["hull contour, equi-length"]
+    assert walk.max_region_size <= 1.35 * hull.max_region_size

@@ -1,0 +1,50 @@
+"""Ablation B: tight (Section IV-C) vs loose (Equation (1)) windows.
+
+The paper argues tightness with the Fig. 6(b) example; this ablation
+quantifies it: regions kept and DPS size under each window on the same
+queries.
+"""
+
+import pytest
+
+from repro.bench.experiments.ablations import run_window_tightness
+from repro.bench.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def window_rows():
+    return run_window_tightness()
+
+
+def test_ablation_window(benchmark, window_rows, emit):
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.dps import DPSQuery
+    from repro.core.roadpart.query import RoadPartQueryProcessor
+    from repro.datasets.queries import window_query
+
+    network = dataset_network("EAST-S")
+    index = dataset_index("EAST-S")
+    query = DPSQuery.q_query(window_query(network, 0.10, seed=9091))
+    loose = RoadPartQueryProcessor(index, window_mode="loose")
+    benchmark.pedantic(lambda: loose.query(query), rounds=3, iterations=1)
+
+    headers = ["eps", "window", "regions kept", "|V'|", "time (s)"]
+    cells = [[f"{r.epsilon:.0%}", r.mode, r.regions_kept, r.dps_size,
+              r.seconds] for r in window_rows]
+    emit("ablation_window", render_table(
+        "Ablation B -- window tightness (EAST-S)", headers, cells))
+    _assert_shape(window_rows)
+
+
+def _assert_shape(window_rows):
+    by_eps = {}
+    for r in window_rows:
+        by_eps.setdefault(r.epsilon, {})[r.mode] = r
+    improved_somewhere = False
+    for eps, modes in by_eps.items():
+        assert modes["tight"].dps_size <= modes["loose"].dps_size
+        assert modes["tight"].regions_kept <= modes["loose"].regions_kept
+        if modes["tight"].dps_size < modes["loose"].dps_size:
+            improved_somewhere = True
+    # The Fig 6(b) effect must actually materialise on some sweep point.
+    assert improved_somewhere

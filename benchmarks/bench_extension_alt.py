@@ -1,0 +1,110 @@
+"""Extension E: a shortest-path index built on a DPS (Section I).
+
+    "Most state-of-the-art shortest path indices on road networks rely
+    on pre-computing all-pair shortest paths, which is not practical for
+    large road networks.  If the region of interest is constrained, one
+    can issue a DPS query and build the indices on the DPS."
+
+Measured here with the ALT landmark index: building it on the full USA
+stand-in vs on the extracted regional DPS (build cost and table size),
+and per-query work for in-region pairs (ALT-on-DPS vs Euclidean A* and
+blind Dijkstra on the network).
+"""
+
+import pytest
+
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.bench.reporting import render_table
+from repro.bench.timing import Timer, timed
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.query import roadpart_dps
+from repro.datasets.queries import random_vertex_pairs, window_query
+from repro.shortestpath.alt import ALTIndex
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dijkstra import sssp
+
+
+@pytest.fixture(scope="module")
+def alt_setup():
+    network = dataset_network("USA-S")
+    index = dataset_index("USA-S")
+    q = window_query(network, 0.08, seed=6300)
+    query = DPSQuery.q_query(q)
+    dps = convex_hull_dps(network, query,
+                          base=roadpart_dps(index, query))
+    sub, mapping = dps.extract(network)
+    back = {old: new for new, old in enumerate(mapping)}
+    pairs = random_vertex_pairs(network, q, 60, seed=6301)
+    return network, sub, back, pairs
+
+
+def test_extension_alt_on_dps(benchmark, alt_setup, emit):
+    from repro.shortestpath.ch import ContractionHierarchy
+    from repro.shortestpath.hub_labels import HubLabelIndex
+
+    network, sub, back, pairs = alt_setup
+
+    alt_on_dps, build_alt_seconds = timed(
+        lambda: ALTIndex(sub, landmark_count=6, seed=1))
+    benchmark.pedantic(
+        lambda: [alt_on_dps.query(back[s], back[t]) for s, t in pairs[:10]],
+        rounds=3, iterations=1)
+    alt_on_network, build_net_seconds = timed(
+        lambda: ALTIndex(network, landmark_count=6, seed=1))
+    ch_on_dps, build_ch_seconds = timed(lambda: ContractionHierarchy(sub))
+    hl_on_dps, build_hl_seconds = timed(lambda: HubLabelIndex(sub))
+
+    # Per-query comparison on in-region pairs.
+    with Timer() as alt_timer:
+        alt_expanded = sum(alt_on_dps.query(back[s], back[t]).expanded
+                           for s, t in pairs)
+    with Timer() as ch_timer:
+        ch_expanded = sum(ch_on_dps.query(back[s], back[t]).expanded
+                          for s, t in pairs)
+    with Timer() as hl_timer:
+        for s, t in pairs:
+            hl_on_dps.distance(back[s], back[t])
+    with Timer() as astar_timer:
+        astar_expanded = sum(astar(network, s, t).expanded
+                             for s, t in pairs)
+    with Timer() as dijkstra_timer:
+        dijkstra_expanded = sum(
+            len(sssp(network, s, targets=[t]).dist) for s, t in pairs)
+
+    emit("extension_alt", render_table(
+        "Extension E -- indices built on a DPS vs search on the network"
+        " (USA-S, 60 in-region pairs)",
+        ["engine", "build (s)", "index size", "query (s)", "expanded"],
+        [["ALT on DPS", build_alt_seconds,
+          f"{alt_on_dps.table_bytes() / 1024:.0f} KB",
+          alt_timer.seconds, alt_expanded],
+         ["CH on DPS [15]", build_ch_seconds,
+          f"{ch_on_dps.upward_edge_count()} up-edges",
+          ch_timer.seconds, ch_expanded],
+         ["2-hop labels on DPS [9]", build_hl_seconds,
+          f"{hl_on_dps.index_bytes() / 1024:.0f} KB",
+          hl_timer.seconds, 0],
+         ["ALT on network (for scale)", build_net_seconds,
+          f"{alt_on_network.table_bytes() / 1024:.0f} KB", "-", "-"],
+         ["Euclidean A* on network", "-", "-", astar_timer.seconds,
+          astar_expanded],
+         ["Dijkstra on network", "-", "-", dijkstra_timer.seconds,
+          dijkstra_expanded]]))
+
+    # Building on the DPS is far cheaper than on the network -- the
+    # paper's point about index practicality.
+    assert build_alt_seconds < 0.5 * build_net_seconds
+    assert alt_on_dps.table_bytes() < 0.2 * alt_on_network.table_bytes()
+    # Indexed engines answer with the least work; labels touch no graph.
+    assert alt_expanded <= astar_expanded
+    assert alt_expanded < dijkstra_expanded
+    assert ch_expanded < dijkstra_expanded
+    assert hl_timer.seconds < dijkstra_timer.seconds
+    # And every engine is exact.
+    for s, t in pairs[:8]:
+        want = sssp(network, s, targets=[t]).dist[t]
+        assert alt_on_dps.query(back[s], back[t]).distance == \
+            pytest.approx(want)
+        assert ch_on_dps.distance(back[s], back[t]) == pytest.approx(want)
+        assert hl_on_dps.distance(back[s], back[t]) == pytest.approx(want)

@@ -1,0 +1,94 @@
+"""Extension D: the paper's Section I downstream queries on a DPS.
+
+    "the DPS can also be used to efficiently process many other queries
+    whose definitions are based on the network distance, such as optimal
+    location queries [2], aggregate nearest neighbor queries [3], and
+    optimal meeting point queries [4]" ... "we expect that it is also
+    much faster to process these queries on the DPSs than on the
+    original road network" (Section VII-C).
+
+This benchmark substantiates the expectation: each query type runs on
+the full USA stand-in and inside a DPS for its query points, asserting
+identical (exact) answers and reduced work.
+"""
+
+import pytest
+
+from repro.apps.aggregate_nn import aggregate_nearest_neighbor
+from repro.apps.meeting_point import optimal_meeting_point
+from repro.apps.optimal_location import optimal_location
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.bench.reporting import render_table
+from repro.bench.timing import timed
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.query import roadpart_dps
+from repro.datasets.queries import window_query
+
+
+@pytest.fixture(scope="module")
+def app_setup():
+    network = dataset_network("USA-S")
+    index = dataset_index("USA-S")
+    points = window_query(network, 0.08, seed=6200)
+    users = points[: len(points) // 2][:12]
+    pois = points[len(points) // 2:][:12]
+    dps = convex_hull_dps(
+        network, DPSQuery.st_query(users, pois),
+        base=roadpart_dps(index, DPSQuery.st_query(users, pois)))
+    return network, users, pois, set(dps.vertices)
+
+
+def test_extension_apps_on_dps(benchmark, app_setup, emit):
+    network, users, pois, dps_vertices = app_setup
+
+    benchmark.pedantic(
+        lambda: aggregate_nearest_neighbor(network, users, pois,
+                                           allowed=dps_vertices),
+        rounds=3, iterations=1)
+
+    rows = []
+    checks = []
+
+    ann_full, t_full = timed(
+        lambda: aggregate_nearest_neighbor(network, users, pois))
+    ann_dps, t_dps = timed(
+        lambda: aggregate_nearest_neighbor(network, users, pois,
+                                           allowed=dps_vertices))
+    rows.append(["aggregate NN (sum)", t_full, t_dps,
+                 f"{ann_full.poi}", f"{ann_dps.poi}"])
+    checks.append((ann_full.cost, ann_dps.cost, ann_full.poi, ann_dps.poi,
+                   t_full, t_dps))
+
+    ol_full, t_full = timed(
+        lambda: optimal_location(network, users, pois))
+    ol_dps, t_dps = timed(
+        lambda: optimal_location(network, users, pois,
+                                 allowed=dps_vertices))
+    rows.append(["optimal location (min-max)", t_full, t_dps,
+                 f"{ol_full.site}", f"{ol_dps.site}"])
+    checks.append((ol_full.cost, ol_dps.cost, ol_full.site, ol_dps.site,
+                   t_full, t_dps))
+
+    # Meeting point restricted to the POI candidates: exactly the
+    # distances the (users, pois)-DPS preserves (the repro.apps
+    # contract), so the two runs must agree.
+    mp_full, t_full = timed(
+        lambda: optimal_meeting_point(network, users, candidates=pois))
+    mp_dps, t_dps = timed(
+        lambda: optimal_meeting_point(network, users, candidates=pois,
+                                      allowed=dps_vertices))
+    rows.append(["meeting point (at a POI)", t_full, t_dps,
+                 f"{mp_full.vertex}", f"{mp_dps.vertex}"])
+    checks.append((mp_full.cost, mp_dps.cost, mp_full.vertex,
+                   mp_dps.vertex, t_full, t_dps))
+
+    emit("extension_apps", render_table(
+        "Extension D -- Section I queries on full network vs DPS (USA-S)",
+        ["query", "full net (s)", "on DPS (s)", "answer (full)",
+         "answer (DPS)"], rows))
+
+    for full_cost, dps_cost, full_ans, dps_ans, t_full, t_dps in checks:
+        assert dps_cost == pytest.approx(full_cost)  # exactness
+        assert dps_ans == full_ans
+        assert t_dps < t_full  # the Section VII-C expectation

@@ -1,0 +1,72 @@
+"""Figure 10: effect of ℓ on RoadPart partitioning (paper Section VII-A).
+
+(a) partitioning time vs ℓ and (b) number of regions vs ℓ on the EAST
+stand-in.  The paper's finding: although the worst case is quadratic in
+ℓ, both grow almost linearly because in-zone BFS dominates the per-round
+cost.  The max region size M (the criterion for choosing ℓ) is included.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig10 import run_fig10
+from repro.bench.reporting import render_series
+from repro.bench.workloads import FIG10_BORDER_COUNTS
+
+
+@pytest.fixture(scope="module")
+def fig10_points():
+    return run_fig10()
+
+
+def test_fig10_partitioning_sweep(benchmark, fig10_points, emit):
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.roadpart.index import build_index
+
+    network = dataset_network("EAST-S")
+    bridges = dataset_index("EAST-S").bridges
+    benchmark.pedantic(
+        lambda: build_index(network, FIG10_BORDER_COUNTS[0],
+                            bridges=bridges),
+        rounds=3, iterations=1)
+
+    emit("fig10", render_series(
+        "Figure 10 -- effect of l on partitioning (EAST-S)",
+        "l", {
+            "partition time (s)": [p.partition_seconds
+                                   for p in fig10_points],
+            "|R|": [p.region_count for p in fig10_points],
+            "max region M": [p.max_region_size for p in fig10_points],
+        }, [p.border_count for p in fig10_points]))
+    _assert_shape(fig10_points)
+
+
+def _assert_shape(fig10_points):
+    """The paper's Fig 10 claims, scoped to what survives downscaling.
+
+    The near-linear growth of |R| the paper observes is a saturation
+    phenomenon of ℓ ≥ 30 on multi-million-vertex networks; at stand-in
+    scale the label-vector space is far from saturated and |R| still
+    grows combinatorially, so only monotonicity is asserted for |R|.
+    The *time* claim (sub-quadratic despite the O(ℓ²·) worst case,
+    because in-zone BFS dominates the A* cuts) does transfer and is
+    asserted.
+    """
+    times = [p.partition_seconds for p in fig10_points]
+    regions = [p.region_count for p in fig10_points]
+    sizes = [p.max_region_size for p in fig10_points]
+    counts = [p.border_count for p in fig10_points]
+    span = counts[-1] / counts[0]
+
+    # (b) |R| increases with l.
+    assert regions == sorted(regions)
+
+    # (a) partitioning time increases overall and stays sub-quadratic.
+    assert times[-1] > times[0]
+    assert times[-1] / times[0] < span ** 2
+
+    # The l-selection criterion: M decreases sharply then stabilises --
+    # weakly decreasing overall with the big drop early.
+    assert sizes[-1] <= sizes[0]
+    early_drop = sizes[0] - sizes[len(sizes) // 2]
+    late_drop = sizes[len(sizes) // 2] - sizes[-1]
+    assert early_drop >= late_drop

@@ -1,0 +1,73 @@
+"""Figure 11: DPS quality comparison -- V-ratio vs ε on the USA and EAST
+stand-ins (paper Section VII-B).
+
+V-ratio = |V'_A| / |V'_BL-Q|.  The paper's shape: every curve decreases
+as ε grows; BL-E's ratio is large, the hull method's 'never exceeds
+1.1', RoadPart's sits between and tightens (below 2 by ε = 10% on USA).
+"""
+
+import pytest
+
+from repro.bench.experiments.fig11 import from_table2_rows
+from repro.bench.experiments.table2 import run_qdps
+from repro.bench.reporting import render_series
+from repro.bench.workloads import FIG11_DATASETS
+
+
+@pytest.fixture(scope="module")
+def fig11_series():
+    return {name: from_table2_rows(run_qdps(name))
+            for name in FIG11_DATASETS}
+
+
+@pytest.mark.parametrize("dataset", FIG11_DATASETS)
+def test_fig11_vratio(benchmark, fig11_series, emit, dataset):
+    series = fig11_series[dataset]
+    # The timed unit: one quality measurement (BL-Q + RoadPart on the
+    # mid-sweep query) -- the building block of every Fig 11 point.
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.blq import bl_quality
+    from repro.core.dps import DPSQuery
+    from repro.datasets.queries import window_query
+
+    network = dataset_network(dataset)
+    mid_eps = series.epsilons[len(series.epsilons) // 2]
+    query = DPSQuery.q_query(window_query(network, mid_eps, seed=990))
+    benchmark.pedantic(lambda: bl_quality(network, query),
+                       rounds=3, iterations=1)
+
+    emit(f"fig11_{dataset}", render_series(
+        f"Figure 11 -- V-ratio vs eps on {dataset}", "eps",
+        {name: [round(v, 3) for v in values]
+         for name, values in series.ratios.items()},
+        [f"{e:.0%}" for e in series.epsilons]))
+    _assert_shape(series)
+
+
+def _assert_shape(series):
+    """Assert the Fig 11 shape in the regime the paper measured.
+
+    The paper's smallest query set has |Q| = 16k; sweep points on the
+    stand-ins with |Q| below ~40 are *below* that regime -- there the
+    region-granularity effect the paper itself flags ("when |Q| is too
+    small, the DPS returned by RoadPart is not sufficiently tight")
+    dominates, so the RoadPart-vs-BL-E comparisons are asserted only on
+    the non-trivial points.
+    """
+    hull = series.ratios["Hull"]
+    roadpart = series.ratios["RoadPart"]
+    ble = series.ratios["BL-E"]
+    valid = [i for i, q in enumerate(series.query_sizes) if q >= 40]
+    assert valid, "the sweep produced no non-trivial query sets"
+    for i in range(len(series.epsilons)):
+        # 1 ≤ Hull ≤ RoadPart (hull beats RoadPart at every ε).
+        assert 1.0 <= hull[i]
+        assert hull[i] <= roadpart[i] * 1.15
+    for i in valid:
+        # RoadPart beats BL-E once queries are non-trivial.
+        assert roadpart[i] <= ble[i] * 1.05
+    # The hull method is near-minimal (paper: ≤ 1.1 at its scale; the
+    # smaller stand-ins make border effects relatively larger).
+    assert max(hull) <= 1.6
+    # RoadPart tightens as ε grows (granularity amortises).
+    assert roadpart[valid[-1]] <= roadpart[valid[0]]

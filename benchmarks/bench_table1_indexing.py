@@ -1,0 +1,57 @@
+"""Table I: datasets and index construction (paper Section VII, Table I).
+
+Regenerates the dataset-statistics and indexing columns on the four
+stand-ins and asserts the paper's qualitative shape: bridge fractions
+below ~1%, index an order of magnitude smaller than the data, |R| well
+below |V|, and indexing time growing with |V|.
+"""
+
+import pytest
+
+from repro.bench.experiments.table1 import as_table, run_table1
+from repro.bench.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+def test_table1_indexing(benchmark, table1_rows, emit):
+    # The timed unit: rebuilding the smallest dataset's index from its
+    # cached bridges (the repeatable core of Table I's indexing column).
+    from repro.bench.experiments.common import dataset_index, dataset_network
+    from repro.core.roadpart.index import build_index
+
+    network = dataset_network("COL-S")
+    bridges = dataset_index("COL-S").bridges
+
+    benchmark.pedantic(
+        lambda: build_index(network, 8, bridges=bridges),
+        rounds=3, iterations=1)
+
+    headers, cells = as_table(table1_rows)
+    emit("table1", render_table(
+        "Table I -- datasets and RoadPart index construction", headers,
+        cells))
+    _assert_shape(table1_rows)
+
+
+def _assert_shape(table1_rows):
+    rows = {r.name: r for r in table1_rows}
+    order = ["COL-S", "NW-S", "EAST-S", "USA-S"]
+    # Dataset sizes grow like the paper's (each ~2.4-3x the previous).
+    sizes = [rows[n].num_vertices for n in order]
+    assert sizes == sorted(sizes)
+    for r in table1_rows:
+        # Bridges are a small fraction of edges (paper: 0.37-0.75%).
+        assert r.bridge_ratio < 0.012
+        # |E| = O(|V|): sparse road networks.
+        assert r.num_edges < 2.2 * r.num_vertices
+        # The index is much smaller than the data (paper: ~10x smaller).
+        assert r.index_bytes < 0.6 * r.data_bytes
+        # Region storage pays off: |R| << |V|.
+        assert r.region_count < 0.15 * r.num_vertices
+    # Indexing time grows with network size.
+    times = [rows[n].indexing_seconds for n in order]
+    assert times[0] < times[-1]

@@ -1,0 +1,56 @@
+"""Table II (lower block): (S, T)-DPS queries on the USA stand-in with
+ε = 4% and ε′ swept from 2% to 10% (paper Section VII-B).
+
+The paper's shape: as S and T move apart, BL-E's DPS balloons (its 2r
+disk covers the whole span) while the hull method stays near-minimal;
+RoadPart sits between, looser than for Q-DPS queries because the window
+keeps everything between the two sets.
+"""
+
+import pytest
+
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.bench.experiments.table2 import as_table, run_stdps
+from repro.bench.reporting import render_table
+from repro.bench.workloads import STDPS_DATASET, STDPS_EPSILON
+from repro.core.dps import DPSQuery
+from repro.core.roadpart.query import roadpart_dps
+from repro.datasets.queries import st_query
+
+
+@pytest.fixture(scope="module")
+def stdps_rows():
+    return run_stdps()
+
+
+def test_table2_stdps(benchmark, stdps_rows, emit):
+    network = dataset_network(STDPS_DATASET)
+    index = dataset_index(STDPS_DATASET)
+    s, t = st_query(network, STDPS_EPSILON, 0.06, seed=8_102)
+    query = DPSQuery.st_query(s, t)
+    benchmark.pedantic(lambda: roadpart_dps(index, query),
+                       rounds=3, iterations=1)
+
+    headers, cells = as_table(stdps_rows, symmetric=False)
+    emit("table2_stdps", render_table(
+        f"Table II -- (S,T)-DPS queries on {STDPS_DATASET}"
+        f" (eps={STDPS_EPSILON:.0%})", headers, cells))
+    _assert_shape(stdps_rows)
+
+
+def _assert_shape(stdps_rows):
+    for row in stdps_rows:
+        m = row.measures
+        assert m["BL-Q"].dps_size <= m["Hull"].dps_size
+        assert m["BL-Q"].dps_size <= m["RoadPart"].dps_size
+        assert m["RoadPart"].dps_size <= m["BL-E"].dps_size
+        assert m["Hull"].dps_size <= 1.15 * m["RoadPart"].dps_size
+    # BL-E's DPS grows as the sets move apart (the 2r disk spans both).
+    sizes = [row.measures["BL-E"].dps_size for row in stdps_rows]
+    assert sizes[-1] > sizes[0]
+    # RoadPart is looser relative to the hull method than on Q-DPS
+    # queries when S and T are far apart (the paper's explanation: every
+    # window vertex between the sets is kept although only a few highway
+    # paths are used).
+    far = stdps_rows[-1].measures
+    assert far["RoadPart"].dps_size >= far["Hull"].dps_size

@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints its reproduced table through ``capsys.disabled()``
+(so it lands in the tee'd bench output) and archives it under
+``reports/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "reports"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Return a function that prints a rendered table to the real stdout
+    and archives it under reports/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n",
+                                                encoding="utf-8")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

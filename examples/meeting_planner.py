@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Downstream network-distance queries on a DPS (paper Section I).
+
+    "the DPS can also be used to efficiently process many other queries
+    whose definitions are based on the network distance, such as optimal
+    location queries, aggregate nearest neighbor queries, and optimal
+    meeting point queries."
+
+A group of friends scattered over a city picks (1) the best meeting
+vertex, (2) the best cafe from a candidate list, and (3) the city picks
+the best site for a new depot serving them -- each computed twice: on
+the full network and inside a DPS for the participants, with identical
+answers and less work.  Also writes an SVG of the DPS to /tmp for the
+curious.
+
+Run:  python examples/meeting_planner.py
+"""
+
+import random
+import time
+
+from repro import DPSQuery, bl_quality, convex_hull_dps
+from repro.apps import (
+    aggregate_nearest_neighbor,
+    optimal_location,
+    optimal_meeting_point,
+)
+from repro.datasets import add_bridges, grid_network
+from repro.viz import render_dps
+
+
+def main() -> None:
+    base = grid_network(45, 42, seed=31)
+    network, _ = add_bridges(base, 15, span=(2.0, 5.0), seed=32)
+    rng = random.Random(7)
+    friends = rng.sample(range(network.num_vertices), 9)
+    cafes = rng.sample(range(network.num_vertices), 15)
+    print(f"city: {network.num_vertices} junctions;"
+          f" {len(friends)} friends, {len(cafes)} candidate cafes")
+
+    # One (friends, cafes)-DPS covers all three queries exactly.
+    query = DPSQuery.st_query(friends, friends + cafes)
+    dps = convex_hull_dps(network, query,
+                          base=bl_quality(network, query))
+    allowed = set(dps.vertices)
+    print(f"DPS: {dps.size} vertices"
+          f" ({dps.size / network.num_vertices:.0%} of the city)\n")
+
+    def run(name, fn):
+        start = time.perf_counter()
+        full = fn(None)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        restricted = fn(allowed)
+        t_dps = time.perf_counter() - start
+        print(f"{name:<28} full {t_full * 1000:6.1f} ms |"
+              f" DPS {t_dps * 1000:6.1f} ms"
+              f"  ({t_full / t_dps:4.1f}x)")
+        return full, restricted
+
+    # Meeting restricted to the cafes: the (friends, cafes)-DPS
+    # preserves exactly the distances this query reads, so the DPS run
+    # is exact (see repro.apps docs for the contract).
+    full, dps_ans = run(
+        "meeting point (sum, at a cafe)",
+        lambda a: optimal_meeting_point(network, friends,
+                                        candidates=cafes, allowed=a))
+    assert (full.vertex, full.cost) == (dps_ans.vertex, dps_ans.cost)
+
+    full, dps_ans = run(
+        "best cafe (max distance)",
+        lambda a: aggregate_nearest_neighbor(network, friends, cafes,
+                                             aggregate="max", allowed=a))
+    assert (full.poi, full.cost) == (dps_ans.poi, dps_ans.cost)
+    print(f"  -> cafe at junction {full.poi}:"
+          f" farthest friend travels {full.cost:.1f}")
+
+    full, dps_ans = run(
+        "depot site (1-center)",
+        lambda a: optimal_location(network, friends, cafes, allowed=a))
+    assert (full.site, full.cost) == (dps_ans.site, dps_ans.cost)
+
+    out = "/tmp/meeting_planner_dps.svg"
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(render_dps(network, dps))
+    print(f"\nwrote {out} (DPS in green, participants in purple)")
+
+
+if __name__ == "__main__":
+    main()

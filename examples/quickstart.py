@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: answer a DPS query four ways and verify the results.
+
+Builds a small synthetic road network with flyovers, poses one Q-DPS
+query, runs all four algorithms of the paper (BL-Q, BL-E, RoadPart and
+the convex hull method), verifies each answer preserves distances, and
+extracts the best DPS as a standalone graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DPSQuery,
+    bl_efficiency,
+    bl_quality,
+    build_index,
+    convex_hull_dps,
+    roadpart_dps,
+    verify_dps,
+)
+from repro.datasets import add_bridges, grid_network, window_query
+
+
+def main() -> None:
+    # 1. A city-like road network: a 40x38 perturbed street grid with a
+    #    dozen flyovers (the "bridges" of the paper).
+    base = grid_network(40, 38, seed=7)
+    network, flyovers = add_bridges(base, 12, span=(2.0, 5.0), seed=8)
+    print(f"road network: {network.num_vertices} junctions,"
+          f" {network.num_edges} road segments,"
+          f" {len(flyovers)} flyovers")
+
+    # 2. A Q-DPS query: every junction inside a window covering ~6% of
+    #    the map (think: the touristic district).
+    q = window_query(network, epsilon=0.25, seed=1)
+    query = DPSQuery.q_query(q)
+    print(f"query: {len(q)} points of interest\n")
+
+    # 3. Answer it four ways.
+    index = build_index(network, border_count=8)  # offline, reusable
+    answers = {
+        "BL-Q (smallest, slow)": bl_quality(network, query),
+        "BL-E (fast, loose)": bl_efficiency(network, query),
+        "RoadPart (indexed)": roadpart_dps(index, query),
+        "Convex hull": convex_hull_dps(network, query),
+    }
+
+    # 4. Verify and compare.
+    smallest = answers["BL-Q (smallest, slow)"]
+    print(f"{'algorithm':<24}{'|V_dps|':>8}{'V-ratio':>9}"
+          f"{'time (ms)':>11}  distance-preserving?")
+    for name, result in answers.items():
+        report = verify_dps(network, result, query, max_sources=15)
+        print(f"{name:<24}{result.size:>8}"
+              f"{result.v_ratio(smallest):>9.2f}"
+              f"{result.seconds * 1000:>11.1f}  {report.summary()}")
+
+    # 5. The recommended pipeline: RoadPart at the server, hull
+    #    refinement at the client, then extract a standalone subgraph.
+    refined = convex_hull_dps(network, query,
+                              base=answers["RoadPart (indexed)"])
+    device_graph, id_map = refined.extract(network)
+    print(f"\nrefined DPS: {refined.size} vertices"
+          f" (RoadPart gave {answers['RoadPart (indexed)'].size})")
+    print(f"extracted standalone graph: {device_graph.num_vertices}"
+          f" vertices, {device_graph.num_edges} edges --"
+          " ready to ship to a mobile client")
+    assert verify_dps(network, refined, query, max_sources=15).ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Example 2 of the paper: a regional route search engine.
+
+    "Consider the development of a route search engine for people who
+    travel in Southern California.  Given the USA road network, the
+    search engine may pose a DPS query with S = T being the set of
+    travel spots in Southern California.  The obtained subgraph can
+    then be used by the search engine to process route queries posed by
+    travelers."
+
+This example uses the USA stand-in dataset, carves out a "Southern
+California" corner with a Q-DPS query, refines it with the convex hull
+method, and then serves a batch of traveller route queries on the DPS --
+timing them against the same queries on the full network (the Section
+VII-C experiment, in application form).
+
+Run:  python examples/route_search_engine.py
+"""
+
+import time
+
+from repro import DPSQuery, build_index, convex_hull_dps, roadpart_dps, verify_dps
+from repro.datasets import load_dataset, random_vertex_pairs, window_query
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dense import DensePPSPEngine
+
+
+def main() -> None:
+    network, _ = load_dataset("USA-S")
+    bounds = network.bounds()
+    print(f"national network: {network.num_vertices} junctions")
+
+    # "Southern California": a 12% x 12% window in the south-west.
+    region_center = (bounds.xmin + 0.15 * bounds.width,
+                     bounds.ymin + 0.15 * bounds.height)
+    spots = window_query(network, epsilon=0.12, center=region_center)
+    query = DPSQuery.q_query(spots)
+    print(f"travel spots in the region: {len(spots)}")
+
+    # Server: RoadPart answers the DPS query; client: hull refinement,
+    # then extraction as a standalone regional graph.
+    index = build_index(network, border_count=14)
+    regional = roadpart_dps(index, query)
+    refined = convex_hull_dps(network, query, base=regional)
+    assert verify_dps(network, refined, query, max_sources=20).ok
+    print(f"regional DPS: RoadPart {regional.size} -> refined"
+          f" {refined.size} vertices"
+          f" ({refined.size / network.num_vertices:.1%} of the network)")
+    regional_graph, id_map = refined.extract(network)
+    to_regional = {old: new for new, old in enumerate(id_map)}
+
+    # The search engine serves route queries.  Classic array-based A*
+    # initialises every vertex per query, so graph size is the cost
+    # driver -- the paper's Section VII-C effect.
+    pairs = random_vertex_pairs(network, spots, count=300, seed=9)
+
+    engine = DensePPSPEngine(regional_graph)
+    started = time.perf_counter()
+    for s, t in pairs:
+        engine.query(to_regional[s], to_regional[t])
+    dps_seconds = time.perf_counter() - started
+
+    national = DensePPSPEngine(network)
+    started = time.perf_counter()
+    for s, t in pairs:
+        national.query(s, t)
+    full_seconds = time.perf_counter() - started
+
+    print(f"\n{len(pairs)} route queries (array-based A*):")
+    print(f"  on the regional DPS : {dps_seconds * 1000:7.0f} ms")
+    print(f"  on the full network : {full_seconds * 1000:7.0f} ms")
+    print(f"  speedup: {full_seconds / dps_seconds:.1f}x")
+
+    # Routes on the DPS are exact, not approximate.
+    for s, t in pairs[:10]:
+        exact = astar(network, s, t).distance
+        on_dps, _, _ = engine.query(to_regional[s], to_regional[t])
+        assert abs(exact - on_dps) < 1e-9
+    print("\nspot-checked 10 routes: distances on the DPS are exact")
+
+
+if __name__ == "__main__":
+    main()

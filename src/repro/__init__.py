@@ -1,0 +1,59 @@
+"""repro: distance-preserving subgraph (DPS) queries on road networks.
+
+A full reproduction of "Finding Distance-Preserving Subgraphs in Large
+Road Networks" (Yan, Cheng, Ng, Liu; ICDE 2013): the four DPS algorithms
+(BL-Q, BL-E, the RoadPart partitioning index, and the convex hull
+method), every substrate they need (road-network graphs, STR-bulkloaded
+R-trees, Dijkstra/A*/bidirectional searches, planar geometry), synthetic
+road-network datasets, and a benchmark harness regenerating every table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (DPSQuery, bl_quality, build_index, roadpart_dps,
+                       convex_hull_dps, verify_dps)
+    from repro.datasets import grid_network, add_bridges, window_query
+
+    network, _ = add_bridges(grid_network(40, 40, seed=7), 12, (2, 5))
+    query = DPSQuery.q_query(window_query(network, epsilon=0.2, seed=1))
+
+    index = build_index(network, border_count=8)     # offline, once
+    dps = roadpart_dps(index, query)                 # online, per query
+    tight = convex_hull_dps(network, query, base=dps)  # client refinement
+
+    assert verify_dps(network, tight, query).ok
+    device_graph, id_map = tight.extract(network)    # ship to the client
+"""
+
+from repro.core import (
+    DPSQuery,
+    DPSResult,
+    RoadPartIndex,
+    RoadPartQueryProcessor,
+    VerificationReport,
+    bl_efficiency,
+    bl_quality,
+    build_index,
+    convex_hull_dps,
+    roadpart_dps,
+    verify_dps,
+)
+from repro.graph import RoadNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DPSQuery",
+    "DPSResult",
+    "RoadNetwork",
+    "RoadPartIndex",
+    "RoadPartQueryProcessor",
+    "VerificationReport",
+    "__version__",
+    "bl_efficiency",
+    "bl_quality",
+    "build_index",
+    "convex_hull_dps",
+    "roadpart_dps",
+    "verify_dps",
+]

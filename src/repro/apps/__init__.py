@@ -1,0 +1,44 @@
+"""Downstream network-distance queries accelerated by a DPS.
+
+Section I of the paper motivates the DPS query with "many other queries
+whose definitions are based on the network distance, such as optimal
+location queries [2], aggregate nearest neighbor queries [3], and
+optimal meeting point queries [4]", and Section VII-C expects them to be
+"much faster to process ... on the DPSs than on the original road
+network".
+
+This package implements the three query types over the library's
+substrate.  Each function takes an optional ``allowed`` vertex set:
+passing a DPS for the relevant query points restricts every internal
+SSSP to the subgraph while returning *exact* answers, because the DPS
+preserves all the distances the objective reads.
+
+Exactness contract (stated per function, asserted by the tests):
+
+- :func:`aggregate_nearest_neighbor` over users ``Q`` and POIs ``P``
+  reads only ``dist(q, p)``: running it inside a (Q, P)-DPS returns the
+  *unrestricted* optimum exactly.
+- :func:`optimal_location` (1-center over clients ``C`` and candidate
+  sites ``P``) likewise reads only ``dist(c, p)``: a (C, P)-DPS makes
+  it exact.
+- :func:`optimal_meeting_point` optimises over *all* vertices, and the
+  unrestricted 1-median need not lie on any inter-user shortest path;
+  inside a DPS the answer is exact *for meeting points within the DPS*
+  (the natural formulation when the application constrains the region
+  of interest, as the paper's Section I deployments do).  Passing an
+  explicit ``candidates`` set turns it into the candidate-restricted
+  problem, which an (users, candidates)-DPS answers exactly.
+"""
+
+from repro.apps.aggregate_nn import AggregateNNResult, aggregate_nearest_neighbor
+from repro.apps.meeting_point import MeetingPointResult, optimal_meeting_point
+from repro.apps.optimal_location import OptimalLocationResult, optimal_location
+
+__all__ = [
+    "AggregateNNResult",
+    "MeetingPointResult",
+    "OptimalLocationResult",
+    "aggregate_nearest_neighbor",
+    "optimal_location",
+    "optimal_meeting_point",
+]

@@ -1,0 +1,72 @@
+"""Aggregate nearest neighbour queries ([3] in the paper).
+
+Given user locations ``Q`` and a set of points of interest ``P``, find
+the POI minimising an aggregate of the users' network distances to it:
+``sum`` (total travel), ``max`` (fairest for the farthest user) or
+``min`` (closest for anyone).
+
+Reads only ``dist(q, p)`` for ``q ∈ Q, p ∈ P``, so running it inside a
+(Q, P)-DPS (``allowed`` = the DPS vertex set) returns the unrestricted
+optimum exactly -- the Section I use case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import sssp
+
+_AGGREGATES = ("sum", "max", "min")
+
+
+@dataclass(frozen=True)
+class AggregateNNResult:
+    """The chosen POI, its aggregate cost, and every POI's cost."""
+
+    poi: int
+    cost: float
+    aggregate: str
+    all_costs: Dict[int, float]
+
+
+def aggregate_nearest_neighbor(network: RoadNetwork, users: Iterable[int],
+                               pois: Iterable[int],
+                               aggregate: str = "sum",
+                               allowed: Optional[Set[int]] = None,
+                               ) -> AggregateNNResult:
+    """Return the POI optimising the aggregate user distance.
+
+    One target-bounded Dijkstra per user.  POIs unreachable from some
+    user get cost ``inf`` under ``sum``/``max`` (and stay eligible under
+    ``min`` if any user reaches them); an entirely unreachable POI set
+    raises ValueError.
+    """
+    if aggregate not in _AGGREGATES:
+        raise ValueError(f"aggregate must be one of {_AGGREGATES}")
+    user_list = sorted(set(users))
+    poi_list = sorted(set(pois))
+    if not user_list or not poi_list:
+        raise ValueError("need at least one user and one POI")
+
+    costs: Dict[int, float] = {
+        p: (0.0 if aggregate == "sum" else
+            -math.inf if aggregate == "max" else math.inf)
+        for p in poi_list}
+    for user in user_list:
+        tree = sssp(network, user, targets=poi_list, allowed=allowed)
+        for p in poi_list:
+            d = tree.dist.get(p, math.inf)
+            if aggregate == "sum":
+                costs[p] += d
+            elif aggregate == "max":
+                costs[p] = max(costs[p], d)
+            else:
+                costs[p] = min(costs[p], d)
+    best = min(costs, key=lambda p: (costs[p], p))
+    if math.isinf(costs[best]):
+        raise ValueError("no POI is reachable as required"
+                         " (within the allowed set)")
+    return AggregateNNResult(best, costs[best], aggregate, costs)

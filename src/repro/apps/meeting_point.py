@@ -1,0 +1,82 @@
+"""Optimal meeting point queries ([4] in the paper).
+
+Given user locations ``Q``, find the vertex minimising an aggregate of
+the users' network distances to it -- ``sum`` (the 1-median: minimise
+total travel) or ``max`` (the 1-center: minimise the latest arrival).
+
+Cost: one Dijkstra per user.  Restricted to a DPS via ``allowed``, each
+Dijkstra touches only DPS vertices, which is the speedup the paper
+anticipates for "optimal meeting point queries [4]" in Section I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import sssp
+
+_OBJECTIVES = ("sum", "max")
+
+
+@dataclass(frozen=True)
+class MeetingPointResult:
+    """The chosen meeting vertex and its per-user distances."""
+
+    vertex: int
+    cost: float
+    objective: str
+    user_distances: Dict[int, float]
+
+
+def optimal_meeting_point(network: RoadNetwork, users: Iterable[int],
+                          candidates: Optional[Iterable[int]] = None,
+                          allowed: Optional[Set[int]] = None,
+                          objective: str = "sum") -> MeetingPointResult:
+    """Return the best meeting vertex for ``users``.
+
+    ``candidates`` restricts the meeting point to a vertex subset (e.g.
+    cafés); None considers every vertex reachable from all users within
+    ``allowed``.  Raises ValueError when no feasible meeting vertex
+    exists (some user cannot reach any candidate).
+    """
+    if objective not in _OBJECTIVES:
+        raise ValueError(f"objective must be one of {_OBJECTIVES}")
+    user_list = sorted(set(users))
+    if not user_list:
+        raise ValueError("need at least one user")
+    candidate_set: Optional[Set[int]] = (
+        None if candidates is None else set(candidates))
+    if candidate_set is not None and not candidate_set:
+        raise ValueError("empty candidate set")
+
+    # Aggregate per-vertex costs across one SSSP per user.  A vertex
+    # missing from any user's tree is infeasible and drops out.
+    aggregate: Optional[Dict[int, float]] = None
+    trees = []
+    for user in user_list:
+        tree = sssp(network, user,
+                    targets=(sorted(candidate_set)
+                             if candidate_set is not None else None),
+                    allowed=allowed)
+        trees.append(tree)
+        reached = tree.dist
+        if aggregate is None:
+            aggregate = {v: d for v, d in reached.items()
+                         if candidate_set is None or v in candidate_set}
+        elif objective == "sum":
+            aggregate = {v: c + reached[v]
+                         for v, c in aggregate.items() if v in reached}
+        else:
+            aggregate = {v: max(c, reached[v])
+                         for v, c in aggregate.items() if v in reached}
+    assert aggregate is not None
+    if not aggregate:
+        raise ValueError("no vertex is reachable from every user"
+                         " (within the allowed set / candidates)")
+    best_vertex = min(aggregate, key=lambda v: (aggregate[v], v))
+    per_user = {user: tree.dist[best_vertex]
+                for user, tree in zip(user_list, trees)}
+    return MeetingPointResult(best_vertex, aggregate[best_vertex],
+                              objective, per_user)

@@ -1,0 +1,69 @@
+"""Optimal location queries ([2] in the paper).
+
+Given client locations ``C`` (optionally weighted) and candidate
+facility sites ``P``, choose the site optimising the clients' network
+distances -- ``min-max`` (the 1-center: minimise the worst client's
+distance) or ``min-sum`` (the weighted 1-median over candidate sites).
+
+Reads only ``dist(c, p)``, so a (C, P)-DPS (``allowed`` = its vertex
+set) answers the unrestricted query exactly (Section I of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import sssp
+
+_CRITERIA = ("min-max", "min-sum")
+
+
+@dataclass(frozen=True)
+class OptimalLocationResult:
+    """The chosen site, its score, and every candidate's score."""
+
+    site: int
+    cost: float
+    criterion: str
+    all_costs: Dict[int, float]
+
+
+def optimal_location(network: RoadNetwork, clients: Iterable[int],
+                     sites: Iterable[int],
+                     criterion: str = "min-max",
+                     weights: Optional[Mapping[int, float]] = None,
+                     allowed: Optional[Set[int]] = None,
+                     ) -> OptimalLocationResult:
+    """Return the best facility site for the clients.
+
+    ``weights`` (client → demand) applies to ``min-sum`` only; missing
+    clients default to weight 1.  A site unreachable from some client
+    scores ``inf``; if every site does, ValueError.
+    """
+    if criterion not in _CRITERIA:
+        raise ValueError(f"criterion must be one of {_CRITERIA}")
+    client_list = sorted(set(clients))
+    site_list = sorted(set(sites))
+    if not client_list or not site_list:
+        raise ValueError("need at least one client and one site")
+    if weights is not None and criterion == "min-max":
+        raise ValueError("weights only apply to the min-sum criterion")
+
+    costs: Dict[int, float] = {p: 0.0 for p in site_list}
+    for client in client_list:
+        tree = sssp(network, client, targets=site_list, allowed=allowed)
+        weight = 1.0 if weights is None else weights.get(client, 1.0)
+        for p in site_list:
+            d = tree.dist.get(p, math.inf)
+            if criterion == "min-max":
+                costs[p] = max(costs[p], d)
+            else:
+                costs[p] += weight * d
+    best = min(costs, key=lambda p: (costs[p], p))
+    if math.isinf(costs[best]):
+        raise ValueError("no site is reachable from every client"
+                         " (within the allowed set)")
+    return OptimalLocationResult(best, costs[best], criterion, costs)

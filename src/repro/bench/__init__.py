@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+- :mod:`repro.bench.timing` -- wall-clock instrumentation;
+- :mod:`repro.bench.metrics` -- the Section VII-B measures (query time,
+  DPS size, V-ratio, examined/valid bridges, border size);
+- :mod:`repro.bench.reporting` -- plain-text table and series rendering
+  in the layout of the paper's tables;
+- :mod:`repro.bench.workloads` -- the per-dataset parameter grids of the
+  evaluation (ε sweeps, ε′ sweeps, ℓ sweeps), scaled with the stand-ins;
+- :mod:`repro.bench.experiments` -- one module per table/figure, each
+  with a ``run(...)`` returning structured rows the ``benchmarks/``
+  pytest files print and assert shape properties over.
+"""
+
+from repro.bench.metrics import AlgorithmMeasure, v_ratio
+from repro.bench.reporting import render_series, render_table
+from repro.bench.timing import Timer
+
+__all__ = [
+    "AlgorithmMeasure",
+    "Timer",
+    "render_series",
+    "render_table",
+    "v_ratio",
+]

@@ -1,0 +1,136 @@
+"""``python -m repro.bench``: regenerate every table and figure.
+
+Runs each experiment at full stand-in scale and writes the rendered
+tables to ``reports/`` (the same files the pytest benchmarks emit),
+printing them as it goes.  Takes a minute or two; pass experiment names
+to run a subset, e.g. ``python -m repro.bench table1 fig11``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench.reporting import render_series, render_table
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parents[3] / "reports"
+
+
+def _emit(name: str, text: str) -> None:
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def _run_table1() -> None:
+    from repro.bench.experiments.table1 import as_table, run_table1
+    headers, cells = as_table(run_table1())
+    _emit("table1", render_table(
+        "Table I -- datasets and RoadPart index construction", headers,
+        cells))
+
+
+def _run_fig10() -> None:
+    from repro.bench.experiments.fig10 import run_fig10
+    points = run_fig10()
+    _emit("fig10", render_series(
+        "Figure 10 -- effect of l on partitioning (EAST-S)", "l",
+        {"partition time (s)": [p.partition_seconds for p in points],
+         "|R|": [p.region_count for p in points],
+         "max region M": [p.max_region_size for p in points]},
+        [p.border_count for p in points]))
+
+
+def _run_table2() -> None:
+    from repro.bench.experiments.table2 import as_table, run_qdps, run_stdps
+    for dataset in ("USA-S", "EAST-S", "COL-S"):
+        headers, cells = as_table(run_qdps(dataset), symmetric=True)
+        _emit(f"table2_qdps_{dataset}", render_table(
+            f"Table II -- Q-DPS queries on {dataset}", headers, cells))
+    headers, cells = as_table(run_stdps(), symmetric=False)
+    _emit("table2_stdps", render_table(
+        "Table II -- (S,T)-DPS queries on USA-S (eps=4%)", headers,
+        cells))
+
+
+def _run_fig11() -> None:
+    from repro.bench.experiments.fig11 import run_fig11
+    for dataset in ("USA-S", "EAST-S"):
+        series = run_fig11(dataset)
+        _emit(f"fig11_{dataset}", render_series(
+            f"Figure 11 -- V-ratio vs eps on {dataset}", "eps",
+            {name: [round(v, 3) for v in values]
+             for name, values in series.ratios.items()},
+            [f"{e:.0%}" for e in series.epsilons]))
+
+
+def _run_sec7c() -> None:
+    from repro.bench.experiments.sec7c import run_sec7c
+    rows = run_sec7c()
+    cells = []
+    for row in rows:
+        for graph in ("network", "roadpart-dps", "hull-dps"):
+            cells.append([f"{row.epsilon:.0%}", row.pair_count, graph,
+                          row.graph_sizes[graph],
+                          row.dense_seconds[graph],
+                          row.lazy_seconds[graph],
+                          row.expanded[graph]])
+    _emit("sec7c", render_table(
+        "Section VII-C -- PPSP (A*) on road network vs DPS (USA-S)",
+        ["eps", "pairs", "graph", "|V| available", "dense A* (s)",
+         "lazy A* (s)", "expanded (lazy)"], cells))
+
+
+def _run_ablations() -> None:
+    from repro.bench.experiments.ablations import (
+        run_bridge_pruning,
+        run_partitioning_choices,
+        run_window_tightness,
+    )
+    rows = run_bridge_pruning()
+    _emit("ablation_bridge_pruning", render_table(
+        "Ablation A -- bridge pruning rules (USA-S, eps=4%)",
+        ["configuration", "examined b", "valid bv", "time (s)", "|V'|"],
+        [[r.configuration, r.examined, r.valid, r.seconds, r.dps_size]
+         for r in rows]))
+    rows = run_window_tightness()
+    _emit("ablation_window", render_table(
+        "Ablation B -- window tightness (EAST-S)",
+        ["eps", "window", "regions kept", "|V'|", "time (s)"],
+        [[f"{r.epsilon:.0%}", r.mode, r.regions_kept, r.dps_size,
+          r.seconds] for r in rows]))
+    rows = run_partitioning_choices()
+    _emit("ablation_partitioning", render_table(
+        "Ablation C -- contour and border selection (COL-S, eps=20%)",
+        ["configuration", "build (s)", "|R|", "max region M",
+         "|V'| on std query"],
+        [[r.configuration, r.build_seconds, r.region_count,
+          r.max_region_size, r.dps_size] for r in rows]))
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": _run_table1,
+    "fig10": _run_fig10,
+    "table2": _run_table2,
+    "fig11": _run_fig11,
+    "sec7c": _run_sec7c,
+    "ablations": _run_ablations,
+}
+
+
+def main(argv: List[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown};"
+              f" available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,17 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+======================  ============================================
+module                  reproduces
+======================  ============================================
+``table1``              Table I (datasets + index construction)
+``fig10``               Figure 10 (effect of ℓ on partitioning)
+``table2``              Table II (Q-DPS and (S, T)-DPS query results)
+``fig11``               Figure 11 (DPS quality / V-ratio vs ε)
+``sec7c``               Section VII-C (PPSP on DPS vs road network)
+``ablations``           Ablations A-C of DESIGN.md
+======================  ============================================
+
+Each module exposes ``run*`` functions returning structured rows; the
+``benchmarks/`` pytest files print them with
+:mod:`repro.bench.reporting` and assert the paper's qualitative shape.
+"""

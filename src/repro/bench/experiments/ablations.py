@@ -1,0 +1,119 @@
+"""Ablations A-C of DESIGN.md: design choices the paper asserts but does
+not isolate, measured here.
+
+A. Bridge pruning rules (Theorem 6 / Corollary 3 / Theorem 7): examined
+   bridge count ``b`` and query time with each rule disabled.
+B. Window tightness: the Section IV-C window vs Equation (1), in kept
+   regions and DPS size.
+C. Partitioning choices: walked vs hull contour, equi-length vs
+   equi-frequency borders, in max region size M and downstream DPS size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.timing import timed
+from repro.bench.workloads import QDPSPoint
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.core.dps import DPSQuery
+from repro.core.roadpart.index import build_index
+from repro.core.roadpart.query import RoadPartQueryProcessor
+from repro.datasets.queries import window_query
+
+
+@dataclass
+class BridgePruningRow:
+    configuration: str
+    examined: int
+    valid: int
+    seconds: float
+    dps_size: int
+
+
+def run_bridge_pruning(dataset: str = "USA-S",
+                       epsilon: float = 0.04) -> List[BridgePruningRow]:
+    """Ablation A: disable the pruning rules one at a time."""
+    network = dataset_network(dataset)
+    index = dataset_index(dataset)
+    point = QDPSPoint(dataset, epsilon)
+    query = DPSQuery.q_query(window_query(network, epsilon,
+                                          seed=point.seed))
+    configurations = [
+        ("all rules (paper)", {}),
+        ("no Corollary 3", {"prune_corollary3": False}),
+        ("no Theorem 7", {"prune_theorem7": False}),
+        ("no Cor 3 + no Thm 7", {"prune_corollary3": False,
+                                 "prune_theorem7": False}),
+        ("no pruning at all", {"examine_all_bridges": True}),
+    ]
+    rows: List[BridgePruningRow] = []
+    for name, options in configurations:
+        processor = RoadPartQueryProcessor(index, **options)
+        result, seconds = timed(lambda p=processor: p.query(query))
+        rows.append(BridgePruningRow(name, int(result.stats["b"]),
+                                     int(result.stats["bv"]), seconds,
+                                     result.size))
+    return rows
+
+
+@dataclass
+class WindowRow:
+    epsilon: float
+    mode: str
+    regions_kept: int
+    dps_size: int
+    seconds: float
+
+
+def run_window_tightness(dataset: str = "EAST-S",
+                         epsilons=(0.05, 0.10, 0.20)) -> List[WindowRow]:
+    """Ablation B: tight (Section IV-C) vs loose (Equation (1)) windows."""
+    network = dataset_network(dataset)
+    index = dataset_index(dataset)
+    rows: List[WindowRow] = []
+    for epsilon in epsilons:
+        point = QDPSPoint(dataset, epsilon)
+        query = DPSQuery.q_query(window_query(network, epsilon,
+                                              seed=point.seed))
+        for mode in ("tight", "loose"):
+            processor = RoadPartQueryProcessor(index, window_mode=mode)
+            result, seconds = timed(lambda p=processor: p.query(query))
+            rows.append(WindowRow(epsilon, mode,
+                                  int(result.stats["regions_kept"]),
+                                  result.size, seconds))
+    return rows
+
+
+@dataclass
+class PartitioningRow:
+    configuration: str
+    build_seconds: float
+    region_count: int
+    max_region_size: int
+    dps_size: int
+
+
+def run_partitioning_choices(dataset: str = "COL-S",
+                             epsilon: float = 0.2,
+                             border_count: int = 8,
+                             ) -> List[PartitioningRow]:
+    """Ablation C: contour strategy x border selection method."""
+    network = dataset_network(dataset)
+    base_index = dataset_index(dataset)  # for the shared bridge set
+    point = QDPSPoint(dataset, epsilon)
+    query = DPSQuery.q_query(window_query(network, epsilon,
+                                          seed=point.seed))
+    rows: List[PartitioningRow] = []
+    for contour in ("walk", "hull"):
+        for borders in ("equi-length", "equi-frequency"):
+            index, seconds = timed(lambda c=contour, b=borders: build_index(
+                network, border_count, contour_strategy=c,
+                border_method=b, bridges=base_index.bridges))
+            result = RoadPartQueryProcessor(index).query(query)
+            rows.append(PartitioningRow(
+                f"{contour} contour, {borders}", seconds,
+                index.regions.region_count,
+                index.regions.max_region_size(), result.size))
+    return rows

@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: cached datasets/indexes and the standard
+four-algorithm sweep over one query."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bench.metrics import AlgorithmMeasure
+from repro.bench.timing import timed
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.index import RoadPartIndex, build_index
+from repro.core.roadpart.query import roadpart_dps
+from repro.datasets.catalog import DATASETS, load_dataset
+from repro.graph.network import RoadNetwork
+
+_index_cache: Dict[Tuple[str, int], RoadPartIndex] = {}
+
+
+def dataset_network(name: str) -> RoadNetwork:
+    """Return the (cached) stand-in network."""
+    network, _ = load_dataset(name)
+    return network
+
+
+def dataset_index(name: str, border_count: Optional[int] = None,
+                  ) -> RoadPartIndex:
+    """Return a (cached) RoadPart index for a catalog dataset; by default
+    with the dataset's Table I border count."""
+    if border_count is None:
+        border_count = DATASETS[name].border_count
+    key = (name, border_count)
+    if key not in _index_cache:
+        network = dataset_network(name)
+        # Reuse the bridge set across ℓ values for the same dataset.
+        bridges = None
+        for (other_name, _), other in _index_cache.items():
+            if other_name == name:
+                bridges = other.bridges
+                break
+        _index_cache[key] = build_index(network, border_count,
+                                        bridges=bridges)
+    return _index_cache[key]
+
+
+def run_four_algorithms(network: RoadNetwork, index: RoadPartIndex,
+                        query: DPSQuery,
+                        hull_on_dps: bool = True,
+                        ) -> Dict[str, AlgorithmMeasure]:
+    """Run BL-E, RoadPart, the convex hull method and BL-Q on one query,
+    in the paper's Table II column order.
+
+    With ``hull_on_dps`` the hull method also runs refined on the
+    RoadPart DPS; its time lands in the ``hull_on_dps_seconds`` extra
+    (the parenthesised time of Table II).
+    """
+    measures: Dict[str, AlgorithmMeasure] = {}
+    ble, seconds = timed(lambda: bl_efficiency(network, query))
+    measures["BL-E"] = AlgorithmMeasure.from_result(ble, seconds)
+    rp, seconds = timed(lambda: roadpart_dps(index, query))
+    measures["RoadPart"] = AlgorithmMeasure.from_result(rp, seconds)
+    hull, seconds = timed(lambda: convex_hull_dps(network, query))
+    hull_measure = AlgorithmMeasure.from_result(hull, seconds)
+    if hull_on_dps:
+        _, refined_seconds = timed(
+            lambda: convex_hull_dps(network, query, base=rp))
+        hull_measure.extras["hull_on_dps_seconds"] = refined_seconds
+    measures["Hull"] = hull_measure
+    blq, seconds = timed(lambda: bl_quality(network, query))
+    measures["BL-Q"] = AlgorithmMeasure.from_result(blq, seconds)
+    return measures

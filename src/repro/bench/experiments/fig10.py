@@ -1,0 +1,48 @@
+"""Figure 10: effect of the border-vertex count ℓ on partitioning.
+
+(a) partitioning time vs ℓ, (b) number of regions |R| vs ℓ, on the EAST
+stand-in.  The paper's observation -- near-linear growth in ℓ despite
+the quadratic worst case, because in-zone BFS dominates A* cut
+computation -- is asserted by the benchmark.  The max region size M,
+which Section VII-A uses to pick ℓ, is included since the same sweep
+produces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.timing import timed
+from repro.bench.workloads import FIG10_BORDER_COUNTS, FIG10_DATASET
+from repro.bench.experiments.common import dataset_network
+from repro.core.roadpart.bridges import find_bridges
+from repro.core.roadpart.index import build_index
+
+
+@dataclass
+class Fig10Point:
+    border_count: int
+    partition_seconds: float
+    region_count: int
+    max_region_size: int
+
+
+def run_fig10(dataset: str = FIG10_DATASET,
+              border_counts: Optional[List[int]] = None) -> List[Fig10Point]:
+    """Sweep ℓ and measure partitioning time, |R| and M.
+
+    Bridges are found once outside the loop: Fig 10 measures
+    *partitioning*, and the bridge self-join is ℓ-independent.
+    """
+    counts = border_counts or FIG10_BORDER_COUNTS
+    network = dataset_network(dataset)
+    bridges = find_bridges(network)
+    points: List[Fig10Point] = []
+    for count in counts:
+        index, seconds = timed(
+            lambda c=count: build_index(network, c, bridges=bridges))
+        points.append(Fig10Point(count, seconds,
+                                 index.regions.region_count,
+                                 index.regions.max_region_size()))
+    return points

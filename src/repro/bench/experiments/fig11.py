@@ -1,0 +1,42 @@
+"""Figure 11: DPS quality (V-ratio vs ε) for Hull, RoadPart and BL-E.
+
+The V-ratio of algorithm A is ``|V'_A| / |V'_BL-Q|``; BL-Q's DPS is the
+smallest by construction, so every ratio is ≥ 1.  The paper's shape:
+BL-E is large (the 2r disk), RoadPart is in between and tightens as ε
+grows (region granularity amortises), the hull method hugs 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.experiments.table2 import Table2Row, run_qdps
+
+
+@dataclass
+class Fig11Series:
+    dataset: str
+    epsilons: List[float]
+    query_sizes: List[int]
+    ratios: Dict[str, List[float]]  # algorithm -> per-ε V-ratio
+
+
+def from_table2_rows(rows: List[Table2Row]) -> Fig11Series:
+    """Derive the Fig 11 series from already-measured Table II rows."""
+    epsilons = [r.epsilon for r in rows]
+    query_sizes = [r.query_size for r in rows]
+    ratios: Dict[str, List[float]] = {"Hull": [], "RoadPart": [],
+                                      "BL-E": []}
+    for row in rows:
+        smallest = row.measures["BL-Q"].dps_size
+        for name in ratios:
+            ratios[name].append(row.measures[name].dps_size / smallest)
+    return Fig11Series(rows[0].dataset if rows else "?", epsilons,
+                       query_sizes, ratios)
+
+
+def run_fig11(dataset: str,
+              epsilons: Optional[List[float]] = None) -> Fig11Series:
+    """Measure the V-ratio sweep for one dataset."""
+    return from_table2_rows(run_qdps(dataset, epsilons))

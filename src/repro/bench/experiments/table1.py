@@ -1,0 +1,79 @@
+"""Table I: dataset statistics and index construction results.
+
+Paper columns: Name, Data Size, |V|, |E|, |Eb|, |Eb|/|E|, ℓ = |B|,
+Indexing Time, Index Size, |R|.  "Data size" here is the in-memory
+estimate of the coordinate + edge arrays (there is no disk file for a
+generated stand-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.datasets.catalog import DATASETS
+
+
+@dataclass
+class Table1Row:
+    name: str
+    paper_name: str
+    data_bytes: int
+    num_vertices: int
+    num_edges: int
+    num_bridges: int
+    bridge_ratio: float
+    border_count: int
+    indexing_seconds: float
+    index_bytes: int
+    region_count: int
+    max_region_size: int
+
+
+def _data_size_bytes(num_vertices: int, num_edges: int) -> int:
+    # 2 x 8-byte coordinates per vertex; 2 x 4-byte endpoints + 8-byte
+    # weight per edge: the payload a loader materialises.
+    return 16 * num_vertices + 16 * num_edges
+
+
+def run_table1(datasets: List[str] = None) -> List[Table1Row]:
+    """Build every catalog index and return the Table I rows."""
+    names = datasets or list(DATASETS)
+    rows: List[Table1Row] = []
+    for name in names:
+        spec = DATASETS[name]
+        network = dataset_network(name)
+        index = dataset_index(name)
+        rows.append(Table1Row(
+            name=name,
+            paper_name=spec.paper_name,
+            data_bytes=_data_size_bytes(network.num_vertices,
+                                        network.num_edges),
+            num_vertices=network.num_vertices,
+            num_edges=network.num_edges,
+            num_bridges=len(index.bridges),
+            bridge_ratio=len(index.bridges) / network.num_edges,
+            border_count=index.border_count,
+            indexing_seconds=index.stats.build_seconds,
+            index_bytes=index.index_size_bytes(),
+            region_count=index.regions.region_count,
+            max_region_size=index.regions.max_region_size(),
+        ))
+    return rows
+
+
+def as_table(rows: List[Table1Row]) -> tuple:
+    """Return (headers, cell rows) for the reporting renderer."""
+    headers = ["Name", "Data Size", "|V|", "|E|", "|Eb|", "|Eb|/|E|",
+               "l=|B|", "Index Time (s)", "Index Size", "|R|", "M"]
+    cells = []
+    for r in rows:
+        cells.append([
+            r.name, f"{r.data_bytes / 1e6:.1f} MB", r.num_vertices,
+            r.num_edges, r.num_bridges, f"{r.bridge_ratio:.3%}",
+            r.border_count, r.indexing_seconds,
+            f"{r.index_bytes / 1e3:.0f} KB", r.region_count,
+            r.max_region_size,
+        ])
+    return headers, cells

@@ -1,0 +1,109 @@
+"""Table II: query processing time and DPS quality.
+
+Upper block: Q-DPS queries with ε sweeps on the USA, EAST and COL
+stand-ins.  Lower block: (S, T)-DPS queries on the USA stand-in with
+ε = 4% and swept ε′.  Columns per the paper: |Q| (or |S|, |T|), then per
+algorithm -- BL-E time and |V'|; RoadPart time, examined bridges ``b``,
+valid bridges ``b_v`` and |V'|; convex hull time (with the time on the
+RoadPart DPS in parentheses), |border| and |V'|; BL-Q time and |V'|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import AlgorithmMeasure
+from repro.bench.workloads import (
+    STDPS_DATASET,
+    STDPS_EPSILON,
+    STDPS_EPSILON_PRIMES,
+    qdps_points,
+)
+from repro.bench.experiments.common import (
+    dataset_index,
+    dataset_network,
+    run_four_algorithms,
+)
+from repro.core.dps import DPSQuery
+from repro.datasets.queries import st_query, window_query
+
+
+@dataclass
+class Table2Row:
+    dataset: str
+    epsilon: float
+    epsilon_prime: Optional[float]
+    source_count: int
+    target_count: int
+    measures: Dict[str, AlgorithmMeasure]
+
+    @property
+    def query_size(self) -> int:
+        return self.source_count  # |Q| for the symmetric block
+
+
+def run_qdps(dataset: str,
+             epsilons: Optional[List[float]] = None) -> List[Table2Row]:
+    """Run the Table II Q-DPS block for one dataset."""
+    network = dataset_network(dataset)
+    index = dataset_index(dataset)
+    rows: List[Table2Row] = []
+    for point in qdps_points(dataset):
+        if epsilons is not None and point.epsilon not in epsilons:
+            continue
+        q = window_query(network, point.epsilon, seed=point.seed)
+        query = DPSQuery.q_query(q)
+        measures = run_four_algorithms(network, index, query)
+        rows.append(Table2Row(dataset, point.epsilon, None,
+                              len(q), len(q), measures))
+    return rows
+
+
+def run_stdps(dataset: str = STDPS_DATASET,
+              epsilon: float = STDPS_EPSILON,
+              epsilon_primes: Optional[List[float]] = None,
+              ) -> List[Table2Row]:
+    """Run the Table II (S, T)-DPS block."""
+    network = dataset_network(dataset)
+    index = dataset_index(dataset)
+    rows: List[Table2Row] = []
+    for i, eps_prime in enumerate(epsilon_primes or STDPS_EPSILON_PRIMES):
+        s, t = st_query(network, epsilon, eps_prime, seed=8_100 + i)
+        query = DPSQuery.st_query(s, t)
+        measures = run_four_algorithms(network, index, query)
+        rows.append(Table2Row(dataset, epsilon, eps_prime,
+                              len(s), len(t), measures))
+    return rows
+
+
+def as_table(rows: List[Table2Row], symmetric: bool) -> tuple:
+    """Return (headers, cell rows) in the paper's column layout."""
+    if symmetric:
+        headers = ["eps", "|Q|"]
+    else:
+        headers = ["eps'", "|S|", "|T|"]
+    headers += ["BL-E t(s)", "BL-E |V'|",
+                "RP t(s)", "b", "bv", "RP |V'|",
+                "Hull t(s)", "(on DPS)", "|border|", "Hull |V'|",
+                "BL-Q t(s)", "BL-Q |V'|"]
+    cells = []
+    for r in rows:
+        if symmetric:
+            lead = [f"{r.epsilon:.0%}", r.query_size]
+        else:
+            lead = [f"{r.epsilon_prime:.0%}", r.source_count,
+                    r.target_count]
+        ble = r.measures["BL-E"]
+        rp = r.measures["RoadPart"]
+        hull = r.measures["Hull"]
+        blq = r.measures["BL-Q"]
+        cells.append(lead + [
+            ble.seconds, ble.dps_size,
+            rp.seconds, rp.cell("b"), rp.cell("bv"), rp.dps_size,
+            hull.seconds,
+            f"({hull.extras.get('hull_on_dps_seconds', 0):.3g})",
+            hull.cell("border"), hull.dps_size,
+            blq.seconds, blq.dps_size,
+        ])
+    return headers, cells

@@ -1,0 +1,48 @@
+"""The evaluation measures of Section VII-B.
+
+    "We use the following measures to evaluate the performance of our
+    algorithms: (1) query processing time; (2) DPS size; (3) the number
+    of examined bridges; and (4) the number of valid bridges."
+
+Plus the V-ratio of Figure 11 (``|V'_A| / |V'_*|`` against BL-Q's
+smallest DPS) and the border size of the convex hull method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.dps import DPSResult
+
+
+def v_ratio(result: DPSResult, smallest: DPSResult) -> float:
+    """``|V'_A| / |V'_*|`` -- the DPS quality measure of Figure 11."""
+    return result.v_ratio(smallest)
+
+
+@dataclass
+class AlgorithmMeasure:
+    """One algorithm's measures on one workload point (one Table II cell
+    group)."""
+
+    algorithm: str
+    seconds: float
+    dps_size: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: DPSResult,
+                    seconds: Optional[float] = None) -> "AlgorithmMeasure":
+        return cls(result.algorithm,
+                   result.seconds if seconds is None else seconds,
+                   result.size, dict(result.stats))
+
+    def cell(self, key: str, default: str = "-") -> str:
+        """Render one extra stat for table output."""
+        value = self.extras.get(key)
+        if value is None:
+            return default
+        if float(value).is_integer():
+            return str(int(value))
+        return f"{value:.3g}"

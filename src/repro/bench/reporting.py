@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark files print the same rows the paper's tables report and
+the same series its figures plot; these helpers keep the layout uniform
+(fixed-width columns, one header block per table) so EXPERIMENTS.md can
+embed the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Cell]]) -> str:
+    """Render a fixed-width table with a title rule."""
+    text_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    rule = "=" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [rule, title, rule, line(headers),
+             "-" * len(rule)]
+    parts.extend(line(row) for row in text_rows)
+    parts.append(rule)
+    return "\n".join(parts)
+
+
+def render_series(title: str, x_label: str,
+                  series: Mapping[str, Sequence[float]],
+                  x_values: Sequence[Cell]) -> str:
+    """Render a figure as a table: one row per x value, one column per
+    plotted series (how the paper's figures read as data)."""
+    headers = [x_label] + list(series)
+    rows: List[List[Cell]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(title, headers, rows)

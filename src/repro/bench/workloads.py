@@ -1,0 +1,67 @@
+"""The evaluation's parameter grids, scaled with the dataset stand-ins.
+
+The ε and ε′ values are the paper's own (Table II sweeps ε ∈ 2-10% on
+USA, 5-25% on EAST, 10-50% on COL; the (S, T) experiment fixes ε = 4%
+and sweeps ε′ ∈ 2-10% on USA).  Because ``|Q| ≈ ε²·|V|``, the same ε on
+a smaller stand-in yields proportionally smaller query sets -- the
+*fractional* workload is identical, which is what preserves the
+cross-method comparisons.
+
+The Fig 10 ℓ sweep (30-60 on the real EAST) is scaled to 6-16 on
+EAST-S: the stand-in's contour is ~1/30 the length, so the same border
+*density* lands in single digits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Table II Q-DPS ε sweeps, per dataset (fractions, not percent).
+QDPS_EPSILONS: Dict[str, List[float]] = {
+    "USA-S": [0.02, 0.04, 0.06, 0.08, 0.10],
+    "EAST-S": [0.05, 0.10, 0.15, 0.20, 0.25],
+    "COL-S": [0.10, 0.20, 0.30, 0.40, 0.50],
+}
+
+#: Table II (S, T)-DPS: fixed ε, swept ε′, on the USA stand-in.
+STDPS_EPSILON = 0.04
+STDPS_EPSILON_PRIMES: List[float] = [0.02, 0.04, 0.06, 0.08, 0.10]
+STDPS_DATASET = "USA-S"
+
+#: Fig 10: the ℓ sweep on the EAST stand-in.
+FIG10_DATASET = "EAST-S"
+FIG10_BORDER_COUNTS: List[int] = [6, 8, 10, 12, 14, 16]
+
+#: Fig 11: V-ratio sweeps on the USA and EAST stand-ins.
+FIG11_DATASETS: Tuple[str, str] = ("USA-S", "EAST-S")
+
+#: Section VII-C: PPSP pair count (paper used 1000; scaled down with the
+#: stand-ins to keep the benchmark under a minute).
+SEC7C_PAIR_COUNT = 200
+SEC7C_DATASET = "USA-S"
+SEC7C_EPSILONS: List[float] = [0.02, 0.06]
+
+#: Per-experiment workload seeds (one query placement per (dataset, ε)).
+QUERY_SEED_BASE = 7_000
+
+
+@dataclass(frozen=True)
+class QDPSPoint:
+    """One Q-DPS workload point."""
+
+    dataset: str
+    epsilon: float
+
+    @property
+    def seed(self) -> int:
+        # zlib.crc32 is stable across processes (unlike str hash(), which
+        # PYTHONHASHSEED randomises), keeping workloads reproducible.
+        import zlib
+        tag = f"{self.dataset}:{round(self.epsilon * 1000)}".encode()
+        return QUERY_SEED_BASE + zlib.crc32(tag) % 100_000
+
+
+def qdps_points(dataset: str) -> List[QDPSPoint]:
+    """Return the Table II Q-DPS workload points for a dataset."""
+    return [QDPSPoint(dataset, eps) for eps in QDPS_EPSILONS[dataset]]

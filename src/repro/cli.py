@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+The server-side workflow of the paper's deployment story, scriptable:
+
+    python -m repro generate  --kind grid --columns 40 --rows 40 \\
+                              --bridges 12 --seed 7 --out map
+    python -m repro stats     --graph map.gr --coords map.co
+    python -m repro build-index --graph map.gr --coords map.co \\
+                              --borders 8 --out map.index.json
+    python -m repro query     --graph map.gr --coords map.co \\
+                              --index map.index.json \\
+                              --epsilon 0.2 --seed 1 \\
+                              --algorithm roadpart --refine \\
+                              --out region --verify
+
+``query`` writes the DPS as a DIMACS ``.gr``/``.co`` pair (the download
+artefact of the mobile scenario) plus a ``.vertices`` file mapping the
+subgraph's ids back to the original network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery, DPSResult
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.index import RoadPartIndex, build_index
+from repro.core.roadpart.query import roadpart_dps
+from repro.core.verify import verify_dps
+from repro.datasets.queries import window_query
+from repro.datasets.synthetic import (
+    add_bridges,
+    delaunay_network,
+    grid_network,
+    multi_city_network,
+    ring_radial_network,
+)
+from repro.graph.builder import validate_network
+from repro.graph.io import read_dimacs, write_dimacs
+from repro.graph.network import RoadNetwork
+
+
+def _load_network(args) -> RoadNetwork:
+    return read_dimacs(args.graph, args.coords)
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "grid":
+        network = grid_network(args.columns, args.rows, seed=args.seed)
+    elif args.kind == "ring":
+        network = ring_radial_network(max(args.rows // 2, 1),
+                                      max(args.columns, 3),
+                                      seed=args.seed)
+    elif args.kind == "delaunay":
+        network = delaunay_network(args.columns * args.rows,
+                                   seed=args.seed)
+    elif args.kind == "multi-city":
+        network, _ = multi_city_network(
+            city_grid=(2, 2), city_size=(args.columns, args.rows),
+            seed=args.seed)
+    else:  # unreachable: argparse choices
+        raise AssertionError(args.kind)
+    if args.bridges:
+        network, added = add_bridges(network, args.bridges, (2.0, 5.0),
+                                     seed=args.seed + 1)
+        print(f"injected {len(added)} bridges")
+    write_dimacs(network, f"{args.out}.gr", f"{args.out}.co",
+                 comment=f"repro generate {args.kind} seed={args.seed}")
+    print(f"wrote {args.out}.gr / {args.out}.co"
+          f" ({network.num_vertices} vertices, {network.num_edges} edges)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    network = _load_network(args)
+    bounds = network.bounds()
+    problems = validate_network(network)
+    print(f"vertices:    {network.num_vertices}")
+    print(f"edges:       {network.num_edges}")
+    print(f"max degree:  {network.max_degree()}")
+    print(f"extent:      {bounds.width:.3g} x {bounds.height:.3g}")
+    print(f"total length:{network.total_weight():.6g}")
+    if problems:
+        print("model violations:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("model:       OK (connected, metric, bounded degree)")
+    return 0
+
+
+def _cmd_build_index(args) -> int:
+    network = _load_network(args)
+    started = time.perf_counter()
+    index = build_index(network, args.borders,
+                        contour_strategy=args.contour)
+    index.save(args.out)
+    print(f"index built in {time.perf_counter() - started:.2f}s:"
+          f" l={index.border_count}, |R|={index.regions.region_count},"
+          f" bridges={len(index.bridges)},"
+          f" contour={index.stats.contour_strategy_used}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _parse_query(args, network: RoadNetwork) -> DPSQuery:
+    if args.vertices:
+        ids = [int(v) for v in args.vertices.split(",")]
+        return DPSQuery.q_query(ids)
+    q = window_query(network, args.epsilon, seed=args.seed)
+    return DPSQuery.q_query(q)
+
+
+def _cmd_query(args) -> int:
+    network = _load_network(args)
+    query = _parse_query(args, network)
+    print(f"query: {len(query.combined)} points")
+    result: DPSResult
+    if args.algorithm == "roadpart":
+        if not args.index:
+            print("error: --algorithm roadpart requires --index",
+                  file=sys.stderr)
+            return 2
+        index = RoadPartIndex.load(args.index, network)
+        result = roadpart_dps(index, query)
+    elif args.algorithm == "blq":
+        result = bl_quality(network, query)
+    elif args.algorithm == "ble":
+        result = bl_efficiency(network, query)
+    else:
+        result = convex_hull_dps(network, query)
+    print(f"{result.algorithm}: DPS of {result.size} vertices"
+          f" in {result.seconds:.3f}s  stats={result.stats}")
+    if args.refine:
+        result = convex_hull_dps(network, query, base=result)
+        print(f"hull refinement: {result.size} vertices"
+              f" in {result.seconds:.3f}s")
+    if args.verify:
+        report = verify_dps(network, result, query, max_sources=25)
+        print(f"verification: {report.summary()}")
+        if not report.ok:
+            return 1
+    if args.out:
+        subgraph, mapping = result.extract(network)
+        write_dimacs(subgraph, f"{args.out}.gr", f"{args.out}.co",
+                     comment=f"DPS by {result.algorithm}")
+        with open(f"{args.out}.vertices", "w", encoding="ascii") as fh:
+            json.dump(mapping, fh)
+        print(f"wrote {args.out}.gr / {args.out}.co / {args.out}.vertices")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distance-preserving subgraph queries on road"
+                    " networks (ICDE 2013 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic network")
+    gen.add_argument("--kind", choices=["grid", "ring", "delaunay",
+                                        "multi-city"], default="grid")
+    gen.add_argument("--columns", type=int, default=40)
+    gen.add_argument("--rows", type=int, default=40)
+    gen.add_argument("--bridges", type=int, default=0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True,
+                     help="output path prefix (.gr/.co appended)")
+    gen.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="network statistics + validation")
+    stats.add_argument("--graph", required=True)
+    stats.add_argument("--coords", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    build = sub.add_parser("build-index", help="build a RoadPart index")
+    build.add_argument("--graph", required=True)
+    build.add_argument("--coords", required=True)
+    build.add_argument("--borders", type=int, default=10,
+                       help="number of border vertices (l)")
+    build.add_argument("--contour", choices=["walk", "walk-planar",
+                                             "hull"], default="walk")
+    build.add_argument("--out", required=True)
+    build.set_defaults(func=_cmd_build_index)
+
+    query = sub.add_parser("query", help="answer a DPS query")
+    query.add_argument("--graph", required=True)
+    query.add_argument("--coords", required=True)
+    query.add_argument("--index", help="RoadPart index JSON")
+    query.add_argument("--algorithm", choices=["roadpart", "blq", "ble",
+                                               "hull"],
+                       default="roadpart")
+    query.add_argument("--epsilon", type=float, default=0.1,
+                       help="query window size as a fraction of the map")
+    query.add_argument("--seed", type=int, default=0,
+                       help="window placement seed")
+    query.add_argument("--vertices",
+                       help="comma-separated vertex ids (0-based,"
+                            " overrides --epsilon)")
+    query.add_argument("--refine", action="store_true",
+                       help="refine the answer with the convex hull"
+                            " method")
+    query.add_argument("--verify", action="store_true",
+                       help="check distance preservation before writing")
+    query.add_argument("--out",
+                       help="output path prefix for the DPS"
+                            " (.gr/.co/.vertices appended)")
+    query.set_defaults(func=_cmd_query)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The DPS algorithms: the paper's contribution.
+
+Four algorithms answer distance-preserving subgraph queries, trading
+answer size against query time (Sections III-VI of the paper):
+
+- :func:`~repro.core.blq.bl_quality` (BL-Q) -- smallest DPS, slowest;
+- :func:`~repro.core.ble.bl_efficiency` (BL-E) -- one SSSP, loosest DPS;
+- :class:`~repro.core.roadpart.RoadPartIndex` +
+  :class:`~repro.core.roadpart.RoadPartQueryProcessor` -- the
+  partitioning index: near-BL-E speed with near-hull quality;
+- :func:`~repro.core.hull.convex_hull_dps` -- near-smallest DPS, also
+  usable as a client-side refinement of a RoadPart DPS.
+
+:mod:`repro.core.verify` checks the distance-preservation invariant
+directly and backs the whole test suite.
+"""
+
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery, DPSResult
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart import (
+    RoadPartIndex,
+    RoadPartQueryProcessor,
+    build_index,
+    roadpart_dps,
+)
+from repro.core.verify import VerificationReport, verify_dps
+
+__all__ = [
+    "DPSQuery",
+    "DPSResult",
+    "RoadPartIndex",
+    "RoadPartQueryProcessor",
+    "VerificationReport",
+    "bl_efficiency",
+    "bl_quality",
+    "build_index",
+    "convex_hull_dps",
+    "roadpart_dps",
+    "verify_dps",
+]

@@ -1,0 +1,80 @@
+"""BL-E: the efficiency-centric baseline (Section III-B of the paper).
+
+One round of Dijkstra total: find the centre vertex ``vc`` (the vertex
+nearest the centre of the query set's MBR, via an R-tree NN lookup), run
+SSSP from ``vc`` until every query vertex is settled, call the largest
+such distance ``r``, then *continue the same search* out to radius ``2r``
+and keep everything settled.
+
+Correctness is Theorem 1: any vertex with ``dist(vc, v) > 2r`` cannot lie
+on a query shortest path, because ``dist(s, t) ≤ 2r`` for all query pairs
+(Lemma 1) while a path through ``v`` would be strictly longer.  The cost
+is quality: the disk of radius ``2r`` is at least 4x the area the
+smallest DPS needs, which is exactly what Table II and Figure 11 measure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.dps import DPSQuery, DPSResult
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import DijkstraSearch
+from repro.spatial.rect import Rect
+
+
+class BLEOutcome:
+    """Internal artefacts of a BL-E run that RoadPart's bridge pruning
+    reuses (Corollary 3 prunes cut bridges whose endpoints lie beyond
+    ``2r`` from ``vc``)."""
+
+    __slots__ = ("center_vertex", "radius", "search")
+
+    def __init__(self, center_vertex: int, radius: float,
+                 search: DijkstraSearch) -> None:
+        self.center_vertex = center_vertex
+        self.radius = radius
+        self.search = search
+
+    def within_2r(self, v: int) -> bool:
+        """Return True when ``dist(vc, v) ≤ 2r`` (Theorem 1's keep side)."""
+        return v in self.search.dist
+
+
+def run_ble_search(network: RoadNetwork, query: DPSQuery) -> BLEOutcome:
+    """Run the BL-E search machinery and return its raw outcome.
+
+    Split from :func:`bl_efficiency` because RoadPart's query processor
+    runs the same search for Corollary 3 bridge pruning without wanting a
+    :class:`DPSResult`.
+    """
+    query.validate_against(network)
+    q = query.combined
+    mbr = Rect.from_points(network.coord(v) for v in q)
+    center_vertex = network.vertex_rtree().nearest_one(mbr.center())
+    search = DijkstraSearch(network, int(center_vertex))
+    if not search.run_until_settled(q):
+        unreached = [v for v in q if v not in search.dist]
+        raise ValueError(
+            f"network is not connected: {len(unreached)} query vertices"
+            f" unreachable from the centre vertex {center_vertex}")
+    radius = max(search.dist[v] for v in q)
+    search.run_until_beyond(2.0 * radius)
+    return BLEOutcome(int(center_vertex), radius, search)
+
+
+def bl_efficiency(network: RoadNetwork, query: DPSQuery) -> DPSResult:
+    """Return the radius-``2r`` DPS of Section III-B.
+
+    Every vertex settled by the staged search has ``dist(vc, ·) ≤ 2r``
+    (phase one settles at most ``r``, phase two stops at ``2r``), so the
+    settled set *is* the DPS.
+    """
+    started = time.perf_counter()
+    outcome = run_ble_search(network, query)
+    vertices = frozenset(outcome.search.dist)
+    elapsed = time.perf_counter() - started
+    return DPSResult("BL-E", query, vertices, seconds=elapsed,
+                     stats={"center_vertex": outcome.center_vertex,
+                            "radius": outcome.radius,
+                            "sssp_rounds": 1})

@@ -1,0 +1,147 @@
+"""DPS query and result types.
+
+The problem definition (Section II of the paper): given a road network
+``G = (V, E)`` and query point sets ``S`` and ``T``, find ``V' ⊆ V`` such
+that for any ``s ∈ S`` and ``t ∈ T``, a shortest path ``sp(s, t)`` exists
+in the subgraph of ``G`` *induced* by ``V'``.  The special case
+``S = T = Q`` is a Q-DPS query.
+
+Every algorithm in :mod:`repro.core` consumes a :class:`DPSQuery` and
+produces a :class:`DPSResult`; results carry per-algorithm statistics (the
+measures of Section VII-B: DPS size, examined/valid bridge counts, border
+sizes, SSSP rounds) so the benchmark harness can print the paper's tables
+without re-instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.graph.network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class DPSQuery:
+    """An (S, T)-DPS query; ``S == T`` makes it a Q-DPS query.
+
+    Query points are vertex ids (Section II: a point on an edge is
+    replaced by the edge's two endpoints before querying).
+    """
+
+    sources: FrozenSet[int]
+    targets: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.sources or not self.targets:
+            raise ValueError("both query sets must be non-empty")
+
+    @classmethod
+    def q_query(cls, q: Iterable[int]) -> "DPSQuery":
+        """Build a Q-DPS query (``S = T = Q``)."""
+        qs = frozenset(q)
+        return cls(qs, qs)
+
+    @classmethod
+    def st_query(cls, s: Iterable[int], t: Iterable[int]) -> "DPSQuery":
+        """Build an (S, T)-DPS query."""
+        return cls(frozenset(s), frozenset(t))
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True for Q-DPS queries."""
+        return self.sources == self.targets
+
+    @property
+    def combined(self) -> FrozenSet[int]:
+        """Return ``Q = S ∪ T``, the set the window/centre constructions
+        operate on (Sections III-B and IV-C set ``Q = S ∪ T``)."""
+        return self.sources | self.targets
+
+    def smaller_side(self) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+        """Return ``(smaller, larger)`` of the two query sets -- BL-Q and
+        the hull method iterate SSSP over the smaller one."""
+        if len(self.sources) <= len(self.targets):
+            return self.sources, self.targets
+        return self.targets, self.sources
+
+    def validate_against(self, network: RoadNetwork) -> None:
+        """Raise ValueError when a query vertex is outside the network."""
+        n = network.num_vertices
+        bad = [v for v in self.combined if not 0 <= v < n]
+        if bad:
+            raise ValueError(f"query vertices outside the network: {bad[:5]}")
+
+
+@dataclass
+class DPSResult:
+    """A distance-preserving subgraph, as the vertex set ``V'``.
+
+    The subgraph itself is *induced*: its edges are exactly the edges of
+    ``G`` with both endpoints in ``V'``, so the vertex set is the whole
+    answer.  ``stats`` holds algorithm-specific measures; ``seconds`` the
+    wall-clock query time.
+    """
+
+    algorithm: str
+    query: DPSQuery
+    vertices: FrozenSet[int]
+    seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = self.query.combined - self.vertices
+        if missing:
+            raise ValueError(
+                f"{self.algorithm}: DPS omits {len(missing)} query vertices"
+                f" (e.g. {sorted(missing)[:5]})")
+
+    @property
+    def size(self) -> int:
+        """Return ``|V'|``, the DPS quality measure of Section VII-B."""
+        return len(self.vertices)
+
+    def edge_count(self, network: RoadNetwork) -> int:
+        """Return ``|E'|`` of the induced subgraph."""
+        return network.subgraph_edge_count(set(self.vertices))
+
+    def extract(self, network: RoadNetwork) -> Tuple[RoadNetwork, List[int]]:
+        """Materialise the induced subgraph as a standalone network (the
+        artefact a client downloads in the paper's motivating scenarios),
+        plus the new-id → original-id mapping."""
+        return network.induced_subgraph(self.vertices)
+
+    def v_ratio(self, smallest: "DPSResult") -> float:
+        """Return this DPS's V-ratio ``|V'_A| / |V'_*|`` against the
+        smallest DPS (Section VII-B defines the ratio against BL-Q)."""
+        if smallest.size == 0:
+            raise ValueError("smallest DPS is empty")
+        return self.size / smallest.size
+
+    @classmethod
+    def merge(cls, results: "Iterable[DPSResult]") -> "DPSResult":
+        """Merge several DPS answers into one (the Example 1 workflow:
+        "The query answers are three small subgraphs, which are then
+        merged as a small graph").
+
+        The merged result preserves ``dist(s, t)`` for every (S, T) pair
+        of every input (a union of vertex sets keeps every input's
+        induced edges), under the merged query
+        ``(∪ sources, ∪ targets)``.  Note the merge does NOT promise
+        cross-query pairs -- e.g. a source of one input against a target
+        of another -- which matches the logistics semantics (depot to
+        its own customers).
+        """
+        result_list = list(results)
+        if not result_list:
+            raise ValueError("cannot merge zero results")
+        vertices: FrozenSet[int] = frozenset().union(
+            *(r.vertices for r in result_list))
+        query = DPSQuery(
+            frozenset().union(*(r.query.sources for r in result_list)),
+            frozenset().union(*(r.query.targets for r in result_list)))
+        algorithms = sorted({r.algorithm for r in result_list})
+        return cls("merged(" + "+".join(algorithms) + ")", query,
+                   vertices,
+                   seconds=sum(r.seconds for r in result_list),
+                   stats={"merged_inputs": len(result_list)})

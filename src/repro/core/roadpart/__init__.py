@@ -1,0 +1,32 @@
+"""RoadPart: the graph-partitioning DPS index (Sections IV-V of the paper).
+
+Offline, the road network is partitioned by shortest-path *cuts* between
+*border vertices* selected on a *contour* of the network; every vertex
+gets one zone-interval label per border vertex, and vertices sharing the
+full label vector form a *region*.  Online, a query's label vectors yield
+a *window*; regions outside the window are pruned (Theorem 2), and the
+few *bridges* (crossing edges) that could carry shortest paths around the
+cuts are patched in via bridge-domain computations (Section V).
+
+Modules:
+
+- :mod:`contour`   -- contour computation (IV-B.1, incl. the non-planar
+  handling of Fig. 3(b)) with a convex-hull fallback strategy;
+- :mod:`border`    -- equi-length border vertex selection (IV-B.2);
+- :mod:`labeling`  -- cuts via A* and the 3-step zone labelling (IV-B.3);
+- :mod:`regions`   -- regions and round-by-round region splitting (IV-A);
+- :mod:`window`    -- label algebra and window computation (IV-C);
+- :mod:`bridges`   -- bridge finding, categorisation, pruning, domains (V);
+- :mod:`index`     -- the offline index builder and its serialisation;
+- :mod:`query`     -- the online query processor.
+"""
+
+from repro.core.roadpart.index import RoadPartIndex, build_index
+from repro.core.roadpart.query import RoadPartQueryProcessor, roadpart_dps
+
+__all__ = [
+    "RoadPartIndex",
+    "RoadPartQueryProcessor",
+    "build_index",
+    "roadpart_dps",
+]

@@ -1,0 +1,88 @@
+"""Border vertex selection (Section IV-B.2 of the paper).
+
+The contour is divided into disjoint subsequences of (near-)equal
+*length* -- not equal vertex count -- and the first vertex of each
+subsequence becomes a border vertex.  The paper prefers this equi-length
+rule over equi-frequency "because road networks are distance-based"; both
+are implemented so Ablation C can measure the difference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.roadpart.contour import Contour
+from repro.spatial.geometry import euclidean
+
+
+def _dedupe_in_order(positions: List[int], contour: Contour) -> List[int]:
+    """Drop selections that repeat a vertex id (a contour can visit a
+    vertex twice via dangling spurs); cuts need distinct endpoints."""
+    seen = set()
+    out = []
+    for pos in positions:
+        vid = contour.vertex_ids[pos]
+        if vid in seen:
+            continue
+        seen.add(vid)
+        out.append(pos)
+    return out
+
+
+def select_borders_equilength(contour: Contour, count: int) -> List[int]:
+    """Return ``count`` border vertices as contour positions, spaced
+    evenly by accumulated Euclidean length along the contour.
+
+    Position 0 (the min-x start vertex) is always selected; each further
+    border is the first contour vertex at or past the next ``L/count``
+    length mark.  Fewer than ``count`` positions can come back when the
+    contour has fewer distinct vertices than requested.
+    """
+    if count < 2:
+        raise ValueError("need at least 2 border vertices")
+    n = len(contour)
+    total = contour.circumference()
+    if total == 0.0 or n <= count:
+        return _dedupe_in_order(list(range(n)), contour)
+    stride = total / count
+    positions = [0]
+    accumulated = 0.0
+    next_mark = stride
+    for i in range(1, n):
+        accumulated += euclidean(contour.points[i - 1], contour.points[i])
+        if accumulated >= next_mark and len(positions) < count:
+            positions.append(i)
+            next_mark += stride
+            # Skip marks the jump to this vertex already passed, so long
+            # contour edges do not pile several borders on one vertex.
+            while accumulated >= next_mark and len(positions) < count:
+                next_mark += stride
+    return _dedupe_in_order(positions, contour)
+
+
+def select_borders_equifrequency(contour: Contour, count: int) -> List[int]:
+    """Return ``count`` border vertices spaced evenly by vertex *count*
+    (footnote 1 of the paper; the ablation alternative)."""
+    if count < 2:
+        raise ValueError("need at least 2 border vertices")
+    n = len(contour)
+    if n <= count:
+        return _dedupe_in_order(list(range(n)), contour)
+    positions = [(i * n) // count for i in range(count)]
+    return _dedupe_in_order(positions, contour)
+
+
+def select_borders(contour: Contour, count: int,
+                   method: str = "equi-length") -> List[int]:
+    """Select border vertices with the named method."""
+    if method == "equi-length":
+        positions = select_borders_equilength(contour, count)
+    elif method == "equi-frequency":
+        positions = select_borders_equifrequency(contour, count)
+    else:
+        raise ValueError(f"unknown border selection method {method!r}")
+    if len(positions) < 2:
+        raise ValueError(
+            f"contour yielded only {len(positions)} distinct border"
+            " vertices; the network is too small for this border count")
+    return positions

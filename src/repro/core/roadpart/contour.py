@@ -1,0 +1,243 @@
+"""Contour computation (Section IV-B.1 of the paper).
+
+A *contour* is an ordered vertex sequence whose polygon contains every
+vertex of the network.  The paper computes a tight contour with a
+boundary walk: start at the vertex with minimum x-coordinate, take the
+most downward edge, then repeatedly take the edge maximising the
+clockwise angle from the incoming direction (ties to the shortest edge),
+backtracking at dangling vertices.  For non-planar networks (Fig. 3(b))
+the walk additionally cuts over to a crossing edge at the intersection
+point nearest to the current position, found with a segment-intersection
+query on ``Rtree(E)``; the temporary intersection points are removed from
+the final contour since only graph vertices can become border vertices.
+
+Boundary walks are geometrically delicate, so two safety nets exist:
+
+- a step cap proportional to ``|E|`` turns a non-terminating walk into a
+  :class:`ContourError`;
+- ``strategy="hull"`` produces a looser but unconditionally valid contour
+  (the convex hull restricted to graph vertices), used as automatic
+  fallback by the index builder and measurable as Ablation C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.spatial.geometry import Point, clockwise_angle, euclidean, segment_intersection_point
+from repro.spatial.hull import convex_hull
+
+#: A candidate whose direction retraces the incoming ray within this angle
+#: is excluded unless it is the only option (the dangling-vertex rule).
+_RETRACE_ANGLE = 6.283185307179586 - 1e-9
+
+#: Ignore intersection points closer than this to the walk position (they
+#: are the crossing that *produced* the current temporary point).
+_MIN_ADVANCE = 1e-9
+
+
+class ContourError(RuntimeError):
+    """The boundary walk failed to terminate or produced a degenerate
+    contour; callers should fall back to ``strategy='hull'``."""
+
+
+@dataclass
+class Contour:
+    """An ordered, implicitly closed sequence of contour vertices."""
+
+    vertex_ids: List[int]
+    points: List[Point]
+
+    def __post_init__(self) -> None:
+        if len(self.vertex_ids) != len(self.points):
+            raise ValueError("vertex_ids and points length mismatch")
+        if not self.vertex_ids:
+            raise ValueError("empty contour")
+
+    def __len__(self) -> int:
+        return len(self.vertex_ids)
+
+    def circumference(self) -> float:
+        """Return ``L = Σ ‖v_i v_{i+1}‖`` (Euclidean, because consecutive
+        contour vertices need not share a graph edge -- Section IV-B.2)."""
+        total = 0.0
+        n = len(self.points)
+        for i in range(n):
+            total += euclidean(self.points[i], self.points[(i + 1) % n])
+        return total
+
+    def chain(self, start_index: int, end_index: int) -> List[int]:
+        """Return the vertex ids from position ``start_index`` to
+        ``end_index`` inclusive, walking forward (wrapping)."""
+        n = len(self.vertex_ids)
+        out = [self.vertex_ids[start_index % n]]
+        i = start_index % n
+        while i != end_index % n:
+            i = (i + 1) % n
+            out.append(self.vertex_ids[i])
+        return out
+
+
+def hull_contour(network: RoadNetwork) -> Contour:
+    """Return the convex hull of all vertices as a (loose) contour.
+
+    Always valid: the hull polygon contains every vertex by definition,
+    and hull corners are graph vertices.  Looser than a walked contour on
+    non-convex networks, which costs partition quality (Ablation C).
+    """
+    coords = network.coords
+    hull = convex_hull(coords)
+    coord_to_vertex = {}
+    for v in network.vertices():
+        coord_to_vertex.setdefault((coords[v].x, coords[v].y), v)
+    ids = [coord_to_vertex[(p.x, p.y)] for p in hull]
+    return Contour(ids, [coords[v] for v in ids])
+
+
+def _pick_next(prev_point: Point, pivot: Point,
+               candidates: Sequence[Tuple[Point, Optional[int]]],
+               allow_retrace_filter: bool,
+               ) -> Tuple[Point, Optional[int]]:
+    """Choose the candidate with maximum clockwise angle from the incoming
+    ray, excluding exact retraces unless nothing else remains."""
+    scored = []
+    for point, vertex in candidates:
+        if point.x == pivot.x and point.y == pivot.y:
+            continue
+        angle = clockwise_angle(prev_point, pivot, point)
+        scored.append((angle, euclidean(pivot, point), point, vertex))
+    if not scored:
+        raise ContourError("walk reached a point with no way out")
+    if allow_retrace_filter:
+        forward = [s for s in scored if s[0] < _RETRACE_ANGLE]
+        if forward:
+            scored = forward
+    # Max clockwise angle; ties broken by the shortest edge (paper rule).
+    best = max(scored, key=lambda s: (s[0], -s[1]))
+    return best[2], best[3]
+
+
+def _nearest_crossing(network: RoadNetwork, start: Point, target: Point,
+                      ) -> Optional[Tuple[Point, Tuple[int, int]]]:
+    """Return the crossing-edge intersection nearest to ``start`` along
+    segment ``start → target``, if any lies strictly ahead."""
+    best: Optional[Tuple[float, Point, Tuple[int, int]]] = None
+    coords = network.coords
+    for key in network.edge_rtree().intersecting(start, target, proper=True):
+        p, q = coords[key[0]], coords[key[1]]
+        cross_point = segment_intersection_point(start, target, p, q)
+        if cross_point is None:
+            continue
+        advance = euclidean(start, cross_point)
+        if advance <= _MIN_ADVANCE:
+            continue
+        if euclidean(cross_point, target) <= _MIN_ADVANCE:
+            continue  # crossing at the far endpoint: arriving there anyway
+        if best is None or advance < best[0]:
+            best = (advance, cross_point, key)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def walk_contour(network: RoadNetwork,
+                 handle_crossings: bool = True) -> Contour:
+    """Run the boundary walk of Section IV-B.1 and return the contour.
+
+    ``handle_crossings=False`` walks the graph as drawn, ignoring edge
+    crossings -- valid for planar networks and cheaper (no R-tree
+    intersection query per step).  Raises :class:`ContourError` when the
+    walk exceeds its step budget.
+    """
+    n = network.num_vertices
+    if n == 0:
+        raise ContourError("empty network has no contour")
+    coords = network.coords
+    if n == 1:
+        return Contour([0], [coords[0]])
+    start = min(network.vertices(),
+                key=lambda v: (coords[v].x, coords[v].y))
+    start_point = coords[start]
+
+    vertex_ids: List[int] = [start]
+    points: List[Point] = [start_point]
+    # Virtual previous point straight below the start: maximising the
+    # clockwise angle from it selects the most downward edge (Fig. 3(a)A).
+    prev_point = Point(start_point.x, start_point.y - 1.0)
+    cur_point = start_point
+    cur_vertex: Optional[int] = start
+    # The walk traverses each directed edge at most once per boundary side
+    # plus one detour per crossing; 6|E| + 16 is a generous cap.
+    step_budget = 6 * network.num_edges + 16
+    # The walk terminates when it is about to repeat its very first move
+    # (same position, same outgoing direction).  Stopping merely on
+    # reaching the start vertex -- the paper's literal phrasing -- would
+    # drop any dangling spur hanging off the start vertex itself, since
+    # the walk re-enters the start before walking that spur.
+    first_move: Optional[Point] = None
+    # When the walk sits on a temporary intersection point, its candidate
+    # moves are the crossed edge's endpoints plus the original target the
+    # interrupted step was heading for (Fig. 3(b)).
+    temp_moves: Optional[List[Tuple[Point, Optional[int]]]] = None
+
+    for _ in range(step_budget):
+        if cur_vertex is not None:
+            candidates: List[Tuple[Point, Optional[int]]] = [
+                (coords[w], w) for w, _ in network.neighbors(cur_vertex)]
+        else:
+            assert temp_moves is not None
+            candidates = temp_moves
+        target_point, target_vertex = _pick_next(
+            prev_point, cur_point, candidates,
+            allow_retrace_filter=first_move is not None)
+        if first_move is None:
+            first_move = target_point
+        elif cur_vertex == start and target_point == first_move:
+            if len(vertex_ids) < 2:
+                raise ContourError("walk closed without leaving the start")
+            if vertex_ids[-1] == start:  # drop the re-entry duplicate
+                vertex_ids.pop()
+                points.pop()
+            return Contour(vertex_ids, points)
+        crossing = (_nearest_crossing(network, cur_point, target_point)
+                    if handle_crossings else None)
+        if crossing is not None:
+            cross_point, crossed_edge = crossing
+            prev_point, cur_point = cur_point, cross_point
+            cur_vertex = None
+            temp_moves = [(coords[crossed_edge[0]], crossed_edge[0]),
+                          (coords[crossed_edge[1]], crossed_edge[1]),
+                          (target_point, target_vertex)]
+            continue
+        prev_point, cur_point = cur_point, target_point
+        cur_vertex = target_vertex
+        temp_moves = None
+        if cur_vertex is not None:
+            vertex_ids.append(cur_vertex)
+            points.append(cur_point)
+    raise ContourError(
+        f"boundary walk did not terminate within {step_budget} steps")
+
+
+def compute_contour(network: RoadNetwork, strategy: str = "walk",
+                    ) -> Tuple[Contour, str]:
+    """Compute a contour with the requested strategy.
+
+    Returns ``(contour, strategy_used)``; ``strategy='walk'`` falls back
+    to the hull contour when the walk fails, reporting ``'hull-fallback'``.
+    ``strategy='walk-planar'`` skips crossing handling (only correct when
+    the caller knows the drawing is planar), ``strategy='hull'`` goes
+    straight to the convex hull.
+    """
+    if strategy == "hull":
+        return hull_contour(network), "hull"
+    if strategy not in ("walk", "walk-planar"):
+        raise ValueError(f"unknown contour strategy {strategy!r}")
+    try:
+        contour = walk_contour(network,
+                               handle_crossings=(strategy == "walk"))
+        return contour, strategy
+    except ContourError:
+        return hull_contour(network), "hull-fallback"

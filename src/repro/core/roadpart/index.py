@@ -1,0 +1,173 @@
+"""The RoadPart index: offline construction and serialisation.
+
+Construction (Section IV-B + V-A), ``O(ℓ²|V|log|V|)`` total:
+
+1. find the bridges (spatial self-join over ``Rtree(E)``);
+2. compute a contour of the network;
+3. select ``ℓ`` border vertices equi-length on the contour;
+4. run ``ℓ`` labelling rounds (one per border vertex, each computing its
+   cuts by A* and flooding zones), splitting regions after every round;
+5. keep, per vertex, only its region id and, per region, its full label
+   vector.
+
+The index is independent of any query; it can be serialised to JSON and
+reloaded against the same network (the server-side artefact of the
+paper's deployment story).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Union
+
+from repro.core.roadpart.border import select_borders
+from repro.core.roadpart.bridges import EdgeKey, find_bridges
+from repro.core.roadpart.contour import Contour, compute_contour
+from repro.core.roadpart.labeling import CutCache, label_round
+from repro.core.roadpart.regions import RegionBuilder, RegionSet
+from repro.graph.network import RoadNetwork
+
+
+@dataclass
+class IndexBuildStats:
+    """Instrumentation of one index build (Table I's indexing columns)."""
+
+    build_seconds: float = 0.0
+    bridge_find_seconds: float = 0.0
+    contour_seconds: float = 0.0
+    labeling_seconds: float = 0.0
+    contour_strategy_used: str = ""
+    contour_length: int = 0
+    raycast_calls: int = 0
+    pocket_count: int = 0
+    widened_labels: int = 0
+    astar_expanded: int = 0
+    #: cuts that had to run on the full graph because the planar skeleton
+    #: disconnects the border pair; non-zero weakens the zone guarantees
+    #: (see repro.core.roadpart.labeling.CutCache).
+    fallback_cuts: int = 0
+
+
+@dataclass
+class RoadPartIndex:
+    """The built index.
+
+    ``regions`` carries the vertex → region mapping and region label
+    vectors; ``bridges`` the crossing-edge set; ``border_vertex_ids`` the
+    ``ℓ`` border vertices in contour order (their order defines the label
+    dimensions).
+    """
+
+    network: RoadNetwork
+    border_vertex_ids: List[int]
+    regions: RegionSet
+    bridges: FrozenSet[EdgeKey]
+    contour: Optional[Contour] = None
+    stats: IndexBuildStats = field(default_factory=IndexBuildStats)
+
+    @property
+    def border_count(self) -> int:
+        """``ℓ = |B|``."""
+        return len(self.border_vertex_ids)
+
+    def index_size_bytes(self) -> int:
+        """Estimate the serialised index footprint: one 32-bit region id
+        per vertex, two 16-bit zone numbers per region label dimension,
+        and two 32-bit endpoints per bridge -- the ``O(|V| + ℓ|R|)``
+        storage argument of Section IV-A."""
+        per_vertex = 4 * len(self.regions.region_of)
+        per_region = 4 * self.regions.dimensions * self.regions.region_count
+        per_bridge = 8 * len(self.bridges)
+        return per_vertex + per_region + per_bridge
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": "roadpart-index-v1",
+            "num_vertices": self.network.num_vertices,
+            "border_vertex_ids": self.border_vertex_ids,
+            "region_of": self.regions.region_of,
+            "region_vectors": [[list(label) for label in vector]
+                               for vector in self.regions.vectors],
+            "bridges": sorted(list(k) for k in self.bridges),
+        }
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        with open(path, "w", encoding="ascii") as stream:
+            json.dump(self.to_dict(), stream)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike],
+             network: RoadNetwork) -> "RoadPartIndex":
+        with open(path, "r", encoding="ascii") as stream:
+            payload = json.load(stream)
+        if payload.get("format") != "roadpart-index-v1":
+            raise ValueError(f"not a RoadPart index file: {path}")
+        if payload["num_vertices"] != network.num_vertices:
+            raise ValueError(
+                f"index built for {payload['num_vertices']} vertices,"
+                f" network has {network.num_vertices}")
+        vectors = [tuple((label[0], label[1]) for label in vector)
+                   for vector in payload["region_vectors"]]
+        regions = RegionSet(payload["region_of"], vectors)
+        bridges = frozenset((k[0], k[1]) for k in payload["bridges"])
+        return cls(network, list(payload["border_vertex_ids"]), regions,
+                   bridges)
+
+
+def build_index(network: RoadNetwork, border_count: int,
+                contour_strategy: str = "walk",
+                border_method: str = "equi-length",
+                bridges: Optional[FrozenSet[EdgeKey]] = None,
+                ) -> RoadPartIndex:
+    """Build a RoadPart index with ``ℓ = border_count`` border vertices.
+
+    ``bridges`` can carry a precomputed bridge set (e.g. when several
+    indexes are built over one network in a parameter sweep); by default
+    the spatial self-join runs here.  ``contour_strategy`` is passed to
+    :func:`repro.core.roadpart.contour.compute_contour`; a failed walk
+    falls back to the hull contour and records the fact in the stats.
+    """
+    stats = IndexBuildStats()
+    started = time.perf_counter()
+
+    step = time.perf_counter()
+    if bridges is None:
+        bridges = find_bridges(network)
+    stats.bridge_find_seconds = time.perf_counter() - step
+
+    step = time.perf_counter()
+    contour, strategy_used = compute_contour(network, contour_strategy)
+    stats.contour_seconds = time.perf_counter() - step
+    stats.contour_strategy_used = strategy_used
+    stats.contour_length = len(contour)
+
+    border_positions = select_borders(contour, border_count, border_method)
+
+    step = time.perf_counter()
+    builder = RegionBuilder(network.num_vertices)
+    bridge_set = set(bridges)
+    cut_cache = CutCache(network, forbidden_edges=bridge_set)
+    for round_index in range(len(border_positions)):
+        labels, round_stats = label_round(network, contour,
+                                          border_positions, round_index,
+                                          bridge_set, cut_cache)
+        builder.apply_round(labels)
+        stats.raycast_calls += round_stats.raycast_calls
+        stats.pocket_count += round_stats.pockets
+        stats.widened_labels += round_stats.widened
+    stats.labeling_seconds = time.perf_counter() - step
+    stats.astar_expanded = cut_cache.astar_expanded
+    stats.fallback_cuts = cut_cache.fallback_cuts
+
+    regions = builder.finish()
+    stats.build_seconds = time.perf_counter() - started
+    border_ids = [contour.vertex_ids[pos] for pos in border_positions]
+    return RoadPartIndex(network, border_ids, regions, frozenset(bridges),
+                         contour=contour, stats=stats)

@@ -1,0 +1,188 @@
+"""RoadPart online query processing (Sections IV-C and V-B/C).
+
+Given a query, the processor:
+
+1. looks up the regions ``R(Q)`` containing query vertices and computes
+   the window ``W`` (tight by default, Equation (1) as ablation);
+2. keeps every region whose label vector intersects ``W`` in all
+   dimensions (Theorem 2) -- their vertices form the planar part of the
+   DPS (Theorem 3);
+3. classifies each bridge against ``W``, prunes interior bridges
+   (Theorem 6), any bridge with an endpoint beyond BL-E's ``2r`` ball
+   (Corollary 3 / Theorem 1) and cut bridges dominated by an earlier
+   boundary (Theorem 7); the survivors are *examined*: their domains
+   ``UD*`` and ``VD*`` are computed with the dual-heap search, and each
+   *valid* bridge (both domains non-empty, Theorem 5) patches the
+   shortest paths between its endpoints and the query vertices into the
+   DPS.
+
+One deliberate deviation from the paper, forced by the skeleton-cut fix
+(see :class:`repro.core.roadpart.labeling.CutCache`): the paper prunes
+*exterior* bridges unconditionally (its Theorem 6), whose proof leans on
+cuts being shortest paths in the full graph.  With skeleton cuts, a
+far-side excursion entering through cut vertices could undercut the cut
+corridor using a far-side bridge, so exterior bridges are pruned only by
+the purely metric Corollary 3 ball test (sound regardless of cut
+geometry) -- a few extra examinations per query, measured in Ablation A.
+
+All pruning rules can be switched off individually for the ablation
+benchmarks; switching rules off only adds examined bridges (cost), never
+changes the result's correctness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set, Tuple
+
+from repro.core.ble import run_ble_search
+from repro.core.dps import DPSQuery, DPSResult
+from repro.core.roadpart.bridges import (
+    BridgeClassification,
+    EdgeKey,
+    classify_bridge,
+    theorem7_survivors,
+)
+from repro.core.roadpart.index import RoadPartIndex
+from repro.core.roadpart.window import loose_window, region_in_window, tight_window
+from repro.shortestpath.bidirectional import bridge_domains
+from repro.shortestpath.paths import collect_path_vertices
+
+
+class RoadPartQueryProcessor:
+    """Answers DPS queries against a built :class:`RoadPartIndex`.
+
+    Parameters
+    ----------
+    index:
+        The offline index.
+    window_mode:
+        ``'tight'`` (Section IV-C procedure, default) or ``'loose'``
+        (Equation (1); Ablation B).
+    prune_corollary3, prune_theorem7:
+        Toggle the two cut-bridge pruning rules (Ablation A).  Interior/
+        exterior pruning (Theorem 6) is not toggleable: it is what makes
+        the examined set finite in spirit -- but ``examine_all_bridges``
+        below bypasses it for the ablation's no-pruning row.
+    cut_pair_order:
+        ``'load'`` or ``'dimension'`` ordering of ``L`` for Theorem 7.
+    examine_all_bridges:
+        Skip every pruning rule and run the domain computation on all
+        bridges (the ablation baseline; slow but maximally conservative).
+    """
+
+    def __init__(self, index: RoadPartIndex, window_mode: str = "tight",
+                 prune_corollary3: bool = True,
+                 prune_theorem7: bool = True,
+                 cut_pair_order: str = "load",
+                 examine_all_bridges: bool = False) -> None:
+        if window_mode not in ("tight", "loose"):
+            raise ValueError(f"unknown window mode {window_mode!r}")
+        self._index = index
+        self._window_mode = window_mode
+        self._prune_cor3 = prune_corollary3
+        self._prune_thm7 = prune_theorem7
+        self._cut_pair_order = cut_pair_order
+        self._examine_all = examine_all_bridges
+
+    # ------------------------------------------------------------------
+
+    def query(self, query: DPSQuery) -> DPSResult:
+        """Answer a DPS query; returns the DPS with the paper's measures
+        (``b`` examined bridges, ``b_v`` valid bridges) in the stats."""
+        network = self._index.network
+        query.validate_against(network)
+        started = time.perf_counter()
+        regions = self._index.regions
+        q_vertices = sorted(query.combined)
+
+        # --- window ----------------------------------------------------
+        query_regions = regions.regions_of_vertices(q_vertices)
+        query_vectors = [regions.vectors[rid] for rid in query_regions]
+        if self._window_mode == "tight":
+            window = tight_window(query_vectors)
+        else:
+            window = loose_window(query_vectors)
+
+        # --- region pruning (Theorem 2) ---------------------------------
+        collected: Set[int] = set()
+        kept_regions = 0
+        for rid, vector in enumerate(regions.vectors):
+            if region_in_window(vector, window):
+                collected.update(regions.members[rid])
+                kept_regions += 1
+
+        # --- bridge handling (Section V) --------------------------------
+        examined, valid = self._handle_bridges(query, window, collected)
+
+        elapsed = time.perf_counter() - started
+        return DPSResult("RoadPart", query, frozenset(collected),
+                         seconds=elapsed,
+                         stats={"b": examined, "bv": valid,
+                                "regions_kept": kept_regions,
+                                "query_regions": len(query_regions)})
+
+    # ------------------------------------------------------------------
+
+    def _handle_bridges(self, query: DPSQuery, window,
+                        collected: Set[int]) -> Tuple[int, int]:
+        """Prune, examine and patch bridges; returns ``(b, b_v)``."""
+        network = self._index.network
+        bridges = self._index.bridges
+        if not bridges:
+            return 0, 0
+        regions = self._index.regions
+
+        if self._examine_all:
+            to_examine: List[EdgeKey] = sorted(bridges)
+        else:
+            cut_bridges: Dict[EdgeKey, BridgeClassification] = {}
+            exterior_bridges: List[EdgeKey] = []
+            for key in bridges:
+                cls = classify_bridge(regions.vector_of_vertex(key[0]),
+                                      regions.vector_of_vertex(key[1]),
+                                      window)
+                if cls.kind == "cut":
+                    cut_bridges[key] = cls
+                elif cls.kind == "exterior":
+                    # Not pruned outright (paper's Theorem 6): with
+                    # skeleton cuts only the metric Corollary 3 test
+                    # below may discard these (module docstring).
+                    exterior_bridges.append(key)
+                # interior bridges are pruned (Theorem 6, still sound)
+            if self._prune_cor3 and (cut_bridges or exterior_bridges):
+                ble = run_ble_search(network, query)
+                cut_bridges = {
+                    key: cls for key, cls in cut_bridges.items()
+                    if ble.within_2r(key[0]) and ble.within_2r(key[1])}
+                exterior_bridges = [
+                    key for key in exterior_bridges
+                    if ble.within_2r(key[0]) and ble.within_2r(key[1])]
+            if self._prune_thm7 and cut_bridges:
+                to_examine = theorem7_survivors(
+                    cut_bridges, len(window), self._cut_pair_order)
+            else:
+                to_examine = sorted(cut_bridges)
+            to_examine = sorted(set(to_examine) | set(exterior_bridges))
+
+        q_vertices = sorted(query.combined)
+        examined = 0
+        valid = 0
+        for u, v in to_examine:
+            examined += 1
+            domains = bridge_domains(network, u, v, q_vertices)
+            if not domains.ud_star or not domains.vd_star:
+                continue  # Theorem 5: this bridge carries no query path
+            valid += 1
+            members = sorted(domains.ud_star | domains.vd_star)
+            collect_path_vertices(domains.search_u.pred, u, members,
+                                  collected)
+            collect_path_vertices(domains.search_v.pred, v, members,
+                                  collected)
+        return examined, valid
+
+
+def roadpart_dps(index: RoadPartIndex, query: DPSQuery,
+                 **processor_options) -> DPSResult:
+    """One-shot convenience: build a processor and answer one query."""
+    return RoadPartQueryProcessor(index, **processor_options).query(query)

@@ -1,0 +1,37 @@
+"""Datasets: synthetic road networks and query workloads.
+
+The paper evaluates on four DIMACS road networks (COL, NW, EAST, USA;
+Table I) that are not redistributable here and, at 0.4M-24M vertices, far
+exceed what pure Python can index within a session.  This package provides:
+
+- :mod:`repro.datasets.synthetic` -- generators for near-planar road
+  networks with the structural properties every paper algorithm exploits
+  (bounded degree, ``|E| = O(|V|)``, metric weights, a small controllable
+  fraction of crossing "bridge" edges);
+- :mod:`repro.datasets.catalog` -- seeded, scaled stand-ins for the four
+  paper datasets, used by all benchmarks;
+- :mod:`repro.datasets.queries` -- the ``εW × εH`` window query generator
+  of Section VII-B, for both Q-DPS and (S, T)-DPS workloads.
+"""
+
+from repro.datasets.catalog import DATASETS, DatasetSpec, load_dataset
+from repro.datasets.queries import random_vertex_pairs, st_query, window_query
+from repro.datasets.synthetic import (
+    add_bridges,
+    delaunay_network,
+    grid_network,
+    ring_radial_network,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "add_bridges",
+    "delaunay_network",
+    "grid_network",
+    "load_dataset",
+    "random_vertex_pairs",
+    "ring_radial_network",
+    "st_query",
+    "window_query",
+]

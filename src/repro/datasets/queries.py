@@ -1,0 +1,117 @@
+"""Query-set generation, following Section VII-B of the paper.
+
+    "Let us denote the MBR of all the vertices in V by mbr(V), and denote
+    the width (height) of mbr(V) by W (H).  We first generate a εW × εH
+    rectangular window over G ... and then put all the vertices in the
+    window into the query set.  For an (S, T)-DPS query, we generate both
+    S and T using the same ε ... the distance between the window centers
+    is equal to ε′W."
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.spatial.rect import Rect
+
+#: Give up after this many window placements fail to capture any vertex.
+_MAX_PLACEMENTS = 200
+
+
+def _window_at(bounds: Rect, center: Tuple[float, float], epsilon: float,
+               ) -> Rect:
+    return Rect.from_center(center, epsilon * bounds.width,
+                            epsilon * bounds.height)
+
+
+def _random_center(rng: random.Random, bounds: Rect, epsilon: float,
+                   ) -> Tuple[float, float]:
+    """Pick a window centre such that the window stays inside mbr(V)."""
+    half_w = epsilon * bounds.width / 2.0
+    half_h = epsilon * bounds.height / 2.0
+    x = rng.uniform(bounds.xmin + half_w, max(bounds.xmax - half_w,
+                                              bounds.xmin + half_w))
+    y = rng.uniform(bounds.ymin + half_h, max(bounds.ymax - half_h,
+                                              bounds.ymin + half_h))
+    return x, y
+
+
+def window_query(network: RoadNetwork, epsilon: float,
+                 seed: int = 0,
+                 center: Optional[Tuple[float, float]] = None) -> List[int]:
+    """Return a Q-DPS query set: all vertices in an ``εW × εH`` window.
+
+    With ``center`` given the window is placed there; otherwise centres
+    are sampled (seeded) until the window captures at least one vertex.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    bounds = network.bounds()
+    tree = network.vertex_rtree()
+    if center is not None:
+        hits = tree.in_window(_window_at(bounds, center, epsilon))
+        return sorted(hits)  # type: ignore[arg-type]
+    rng = random.Random(seed)
+    for _ in range(_MAX_PLACEMENTS):
+        hits = tree.in_window(
+            _window_at(bounds, _random_center(rng, bounds, epsilon),
+                       epsilon))
+        if hits:
+            return sorted(hits)  # type: ignore[arg-type]
+    raise RuntimeError(
+        f"no ε={epsilon} window captured a vertex in {_MAX_PLACEMENTS}"
+        " placements; the network is degenerate")
+
+
+def st_query(network: RoadNetwork, epsilon: float, epsilon_prime: float,
+             seed: int = 0) -> Tuple[List[int], List[int]]:
+    """Return an (S, T)-DPS query: two ``εW × εH`` windows whose centres
+    are ``ε′W`` apart (W being the width of mbr(V)).
+
+    The direction of the offset is sampled; placements where either
+    window captures no vertex are rejected and re-sampled.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    if epsilon_prime < 0.0:
+        raise ValueError("epsilon_prime must be non-negative")
+    bounds = network.bounds()
+    tree = network.vertex_rtree()
+    rng = random.Random(seed)
+    offset = epsilon_prime * bounds.width
+    for _ in range(_MAX_PLACEMENTS):
+        cs = _random_center(rng, bounds, epsilon)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        ct = (cs[0] + offset * math.cos(angle),
+              cs[1] + offset * math.sin(angle))
+        if not bounds.contains_point(ct):
+            continue
+        s_hits = tree.in_window(_window_at(bounds, cs, epsilon))
+        t_hits = tree.in_window(_window_at(bounds, ct, epsilon))
+        if s_hits and t_hits:
+            return sorted(s_hits), sorted(t_hits)  # type: ignore[arg-type]
+    raise RuntimeError(
+        f"no (ε={epsilon}, ε'={epsilon_prime}) window pair captured"
+        f" vertices in {_MAX_PLACEMENTS} placements")
+
+
+def random_vertex_pairs(network: RoadNetwork, query: List[int],
+                        count: int, seed: int = 0,
+                        ) -> List[Tuple[int, int]]:
+    """Return ``count`` random (s, t) pairs from a query set, the workload
+    of the Section VII-C PPSP-on-DPS experiment ("we randomly generate
+    1000 vertex pairs (s, t) according to the DPS query set")."""
+    if len(query) < 2:
+        raise ValueError("need at least two query vertices to form pairs")
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        s = query[rng.randrange(len(query))]
+        t = query[rng.randrange(len(query))]
+        while t == s:
+            t = query[rng.randrange(len(query))]
+        pairs.append((s, t))
+    return pairs

@@ -1,0 +1,326 @@
+"""Synthetic road-network generators.
+
+Every generator produces networks with the structural properties the DPS
+algorithms rely on (see DESIGN.md §4 for the substitution argument):
+
+- *near-planarity*: the base networks are planar by construction, and
+  crossing edges enter only through :func:`add_bridges`, which models the
+  flyovers/tunnels the paper calls bridges;
+- *bounded degree* and ``|E| = O(|V|)``;
+- *metric weights*: every edge weight is the Euclidean length times a
+  detour factor ≥ 1, so ``|uv| ≥ ‖uv‖`` holds without rescaling;
+- *determinism*: all randomness flows through a caller-provided seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Set, Tuple
+
+from repro.graph.components import largest_component
+from repro.graph.network import RoadNetwork
+from repro.spatial.geometry import euclidean, on_segment
+from repro.spatial.rect import Rect
+
+#: Detour factor range: real roads are 0-30% longer than the crow flies.
+DEFAULT_DETOUR = (1.0, 1.3)
+
+
+def _edge_weight(rng: random.Random, a: Sequence[float], b: Sequence[float],
+                 detour: Tuple[float, float]) -> float:
+    """Return a metric edge weight: Euclidean length times a detour factor."""
+    lo, hi = detour
+    if lo < 1.0:
+        raise ValueError("detour factors below 1 break |uv| >= ||uv||")
+    return euclidean(a, b) * rng.uniform(lo, hi)
+
+
+def _drop_edges_keeping_connectivity(
+        rng: random.Random, vertex_count: int,
+        edges: List[Tuple[int, int, float]],
+        drop_rate: float) -> List[Tuple[int, int, float]]:
+    """Randomly remove ``drop_rate`` of the edges while provably keeping
+    the graph connected: edges of a random spanning forest are immune.
+
+    This turns regular lattices into irregular road grids (missing blocks,
+    dead ends) without any connectivity re-checks.
+    """
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError("drop_rate must be in [0, 1)")
+    if drop_rate == 0.0:
+        return edges
+    shuffled = list(edges)
+    rng.shuffle(shuffled)
+    parent = list(range(vertex_count))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    spanning: Set[Tuple[int, int]] = set()
+    for u, v, _ in shuffled:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            spanning.add((u, v))
+    removable = [e for e in shuffled if (e[0], e[1]) not in spanning]
+    keep_count = len(removable) - int(drop_rate * len(edges))
+    kept = removable[:max(keep_count, 0)]
+    return [e for e in edges
+            if (e[0], e[1]) in spanning] + kept
+
+
+def grid_network(columns: int, rows: int, spacing: float = 1.0,
+                 perturbation: float = 0.3, drop_rate: float = 0.12,
+                 detour: Tuple[float, float] = DEFAULT_DETOUR,
+                 seed: int = 0) -> RoadNetwork:
+    """Generate a perturbed grid road network (a Manhattan-style city).
+
+    Vertices sit on a ``columns × rows`` lattice, each jittered by at most
+    ``perturbation × spacing/2`` per axis; keeping the jitter factor below
+    1 confines every vertex to its own half-spacing cell, which makes the
+    network planar by construction (edges join adjacent cells only).  A
+    ``drop_rate`` fraction of edges is removed (connectivity-safely) to
+    break the regularity.
+    """
+    if columns < 2 or rows < 2:
+        raise ValueError("grid needs at least 2x2 vertices")
+    if not 0.0 <= perturbation < 1.0:
+        raise ValueError("perturbation must be in [0, 1) of half-spacing")
+    rng = random.Random(seed)
+    jitter = perturbation * spacing / 2.0
+    coords: List[Tuple[float, float]] = []
+    for j in range(rows):
+        for i in range(columns):
+            coords.append((i * spacing + rng.uniform(-jitter, jitter),
+                           j * spacing + rng.uniform(-jitter, jitter)))
+
+    def vid(i: int, j: int) -> int:
+        return j * columns + i
+
+    edges: List[Tuple[int, int, float]] = []
+    for j in range(rows):
+        for i in range(columns):
+            u = vid(i, j)
+            if i + 1 < columns:
+                v = vid(i + 1, j)
+                edges.append((u, v, _edge_weight(rng, coords[u], coords[v],
+                                                 detour)))
+            if j + 1 < rows:
+                v = vid(i, j + 1)
+                edges.append((u, v, _edge_weight(rng, coords[u], coords[v],
+                                                 detour)))
+    edges = _drop_edges_keeping_connectivity(rng, len(coords), edges,
+                                             drop_rate)
+    return largest_component(RoadNetwork(coords, edges))
+
+
+def ring_radial_network(rings: int, spokes: int, ring_spacing: float = 1.0,
+                        perturbation: float = 0.15,
+                        detour: Tuple[float, float] = DEFAULT_DETOUR,
+                        seed: int = 0) -> RoadNetwork:
+    """Generate a ring-and-radial city (a Paris-style layout).
+
+    A centre vertex, ``rings`` concentric ring roads with ``spokes``
+    junctions each, ring edges between angular neighbours and radial edges
+    between consecutive rings.  Planar by construction: rings are nested
+    and radial edges stay inside their angular sector.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("need at least 1 ring and 3 spokes")
+    rng = random.Random(seed)
+    coords: List[Tuple[float, float]] = [(0.0, 0.0)]
+    for ring in range(1, rings + 1):
+        radius = ring * ring_spacing
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            r = radius * (1.0 + rng.uniform(-perturbation, perturbation)
+                          * 0.4)
+            a = angle + rng.uniform(-perturbation, perturbation) \
+                * (math.pi / spokes)
+            coords.append((r * math.cos(a), r * math.sin(a)))
+
+    def vid(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * spokes + (spoke % spokes)
+
+    edges: List[Tuple[int, int, float]] = []
+    # Connect the centre to at most 6 evenly spaced first-ring junctions;
+    # attaching every spoke would give the centre unbounded degree.
+    centre_links = min(spokes, 6)
+    for k in range(centre_links):
+        u = vid(1, k * spokes // centre_links)
+        edges.append((0, u, _edge_weight(rng, coords[0], coords[u], detour)))
+    for ring in range(1, rings + 1):
+        for spoke in range(spokes):
+            u = vid(ring, spoke)
+            v = vid(ring, spoke + 1)
+            edges.append((u, v, _edge_weight(rng, coords[u], coords[v],
+                                             detour)))
+            if ring < rings:
+                w = vid(ring + 1, spoke)
+                edges.append((u, w, _edge_weight(rng, coords[u], coords[w],
+                                                 detour)))
+    return RoadNetwork(coords, edges)
+
+
+def delaunay_network(vertex_count: int, extent: float = 100.0,
+                     drop_rate: float = 0.35,
+                     detour: Tuple[float, float] = DEFAULT_DETOUR,
+                     seed: int = 0) -> RoadNetwork:
+    """Generate a road network from a Delaunay triangulation of random
+    points, thinned to road-like density.
+
+    Triangulations are planar; dropping a third of the edges (safely, via
+    the spanning-forest rule) brings the average degree from ~6 down to
+    the 2-3 typical of road networks.
+    """
+    if vertex_count < 4:
+        raise ValueError("Delaunay generator needs at least 4 points")
+    from scipy.spatial import Delaunay  # local import: scipy is heavy
+    import numpy as np
+
+    np_rng = np.random.default_rng(seed)
+    points = np_rng.uniform(0.0, extent, size=(vertex_count, 2))
+    triangulation = Delaunay(points)
+    edge_keys: Set[Tuple[int, int]] = set()
+    for simplex in triangulation.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        for u, v in ((a, b), (b, c), (a, c)):
+            edge_keys.add((u, v) if u < v else (v, u))
+    rng = random.Random(seed)
+    coords = [(float(x), float(y)) for x, y in points]
+    edges = [(u, v, _edge_weight(rng, coords[u], coords[v], detour))
+             for u, v in sorted(edge_keys)]
+    edges = _drop_edges_keeping_connectivity(rng, vertex_count, edges,
+                                             drop_rate)
+    return largest_component(RoadNetwork(coords, edges))
+
+
+def multi_city_network(city_grid: Tuple[int, int] = (2, 2),
+                       city_size: Tuple[int, int] = (14, 14),
+                       city_spacing: float = 40.0,
+                       highway_detour: float = 1.05,
+                       seed: int = 0,
+                       ) -> Tuple[RoadNetwork, List[List[int]]]:
+    """Generate several dense city grids joined by sparse highways.
+
+    The layout of the paper's motivating Example 1 (a logistics company
+    serving several European cities): ``city_grid`` cities, each a
+    perturbed street grid, placed on a coarse lattice ``city_spacing``
+    apart and connected to each horizontal/vertical neighbour city by a
+    single highway edge between their nearest boundary junctions.
+    Highways get a small detour factor (motorways are straight).
+
+    Returns the network plus, per city, the list of its vertex ids.
+    """
+    cols, rows = city_grid
+    if cols < 1 or rows < 1:
+        raise ValueError("need at least one city")
+    if cols * rows < 2:
+        raise ValueError("a single city has no highways; use grid_network")
+    rng = random.Random(seed)
+    coords: List[Tuple[float, float]] = []
+    edges: List[Tuple[int, int, float]] = []
+    city_vertices: List[List[int]] = []
+    for cy in range(rows):
+        for cx in range(cols):
+            city = grid_network(city_size[0], city_size[1], spacing=1.0,
+                                perturbation=0.3, drop_rate=0.10,
+                                seed=seed + 31 * (cy * cols + cx))
+            offset = len(coords)
+            dx = cx * city_spacing
+            dy = cy * city_spacing
+            coords.extend((p.x + dx, p.y + dy) for p in city.coords)
+            edges.extend((e.u + offset, e.v + offset, e.weight)
+                         for e in city.edges())
+            city_vertices.append(list(range(offset, len(coords))))
+
+    def nearest_pair(a: List[int], b: List[int]) -> Tuple[int, int]:
+        # Cities are far apart, so comparing centroids' facing boundary
+        # is overkill: sample candidates nearest the other centroid.
+        centroid_b = (sum(coords[v][0] for v in b) / len(b),
+                      sum(coords[v][1] for v in b) / len(b))
+        u = min(a, key=lambda v: euclidean(coords[v], centroid_b))
+        v = min(b, key=lambda w: euclidean(coords[w], coords[u]))
+        return u, v
+
+    for cy in range(rows):
+        for cx in range(cols):
+            here = city_vertices[cy * cols + cx]
+            if cx + 1 < cols:
+                u, v = nearest_pair(here, city_vertices[cy * cols + cx + 1])
+                edges.append((u, v, euclidean(coords[u], coords[v])
+                              * highway_detour))
+            if cy + 1 < rows:
+                u, v = nearest_pair(here, city_vertices[(cy + 1) * cols + cx])
+                edges.append((u, v, euclidean(coords[u], coords[v])
+                              * highway_detour))
+    del rng  # reserved for future jitter of highway endpoints
+    return RoadNetwork(coords, edges), city_vertices
+
+
+def add_bridges(network: RoadNetwork, count: int,
+                span: Tuple[float, float],
+                detour: Tuple[float, float] = (1.0, 1.15),
+                seed: int = 0,
+                max_attempts_factor: int = 200) -> Tuple[RoadNetwork, List[Tuple[int, int]]]:
+    """Add ``count`` bridge edges (flyovers) to a network.
+
+    A bridge is a new edge whose segment *properly crosses* at least one
+    existing edge -- exactly the predicate RoadPart's bridge finding
+    (Section V-A) detects.  Candidate endpoints are sampled at Euclidean
+    distance within ``span``; candidates that pass (within geometric
+    tolerance) through a third vertex are rejected so crossing detection
+    stays numerically unambiguous.
+
+    Returns the augmented network and the list of bridge edge keys.  Fewer
+    than ``count`` bridges may be produced when the geometry refuses (the
+    caller can check ``len(bridges)``).
+    """
+    rng = random.Random(seed)
+    vertex_tree = network.vertex_rtree()
+    edge_tree = network.edge_rtree()
+    coords = network.coords
+    lo, hi = span
+    bridges: List[Tuple[int, int]] = []
+    new_edges: List[Tuple[int, int, float]] = []
+    added_keys: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    while len(bridges) < count and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(network.num_vertices)
+        cu = coords[u]
+        window = Rect(cu.x - hi, cu.y - hi, cu.x + hi, cu.y + hi)
+        candidates = [v for v in vertex_tree.in_window(window)
+                      if v != u and lo <= euclidean(cu, coords[v]) <= hi]
+        if not candidates:
+            continue
+        v = candidates[rng.randrange(len(candidates))]
+        key = (u, v) if u < v else (v, u)
+        if key in added_keys or network.has_edge(u, v):
+            continue
+        cv = coords[v]
+        crossed = edge_tree.intersecting(cu, cv, proper=True)
+        crossed = [k for k in crossed if k != key]
+        if not crossed:
+            continue  # not a bridge: it would not fly over anything
+        # Reject segments passing through a third vertex: epsilon-ambiguous.
+        near = vertex_tree.in_window(Rect.from_segment(cu, cv).expanded(1e-6))
+        if any(w not in (u, v) and on_segment(coords[w], cu, cv)
+               for w in near):
+            continue
+        # Reject segments that properly cross an already-added bridge
+        # segment's twin check is unnecessary -- bridges may cross bridges
+        # in real networks and the algorithms must cope.
+        bridges.append(key)
+        added_keys.add(key)
+        new_edges.append((u, v, _edge_weight(rng, cu, cv, detour)))
+    coords_list = list(coords)
+    all_edges = [(e.u, e.v, e.weight) for e in network.edges()] + new_edges
+    return RoadNetwork(coords_list, all_edges), bridges

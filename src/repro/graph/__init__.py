@@ -1,0 +1,35 @@
+"""Road-network graph substrate.
+
+- :mod:`repro.graph.network` -- the :class:`~repro.graph.network.RoadNetwork`
+  adjacency structure with vertex coordinates (the graph model of Section II
+  of the paper: undirected, weighted, connected, bounded degree).
+- :mod:`repro.graph.builder` -- construction helpers, validation, and the
+  metric weight scaling (``|uv| ≥ ‖uv‖``) that Section VII applies before
+  running A*.
+- :mod:`repro.graph.io` -- DIMACS ``.gr``/``.co`` readers and writers (the
+  format of the datasets in [18]).
+- :mod:`repro.graph.components` -- connectivity utilities.
+"""
+
+from repro.graph.builder import (
+    build_network,
+    metric_violation_ratio,
+    scale_weights_to_metric,
+    validate_network,
+)
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.io import read_dimacs, write_dimacs
+from repro.graph.network import Edge, RoadNetwork
+
+__all__ = [
+    "Edge",
+    "RoadNetwork",
+    "build_network",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "metric_violation_ratio",
+    "read_dimacs",
+    "scale_weights_to_metric",
+    "validate_network",
+]

@@ -1,0 +1,99 @@
+"""Construction, validation and metric scaling of road networks.
+
+The paper's experiments (Section VII) "scale the edge weights to ensure
+``|uv| ≥ ‖uv‖`` for each edge", the admissibility condition the Euclidean
+A* heuristic needs.  :func:`scale_weights_to_metric` applies the same
+global scaling: multiplying *every* weight by one constant preserves the
+shortest-path structure exactly (every path length scales by the same
+factor), unlike clamping individual edges, which could reroute paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.graph.components import is_connected
+from repro.graph.network import RoadNetwork
+
+
+def build_network(coords: Dict[Hashable, Sequence[float]],
+                  edges: Iterable[Tuple[Hashable, Hashable, float]],
+                  ) -> Tuple[RoadNetwork, Dict[Hashable, int]]:
+    """Build a :class:`RoadNetwork` from arbitrarily-labelled vertices.
+
+    Returns the network plus the label → internal-id mapping.  Vertex ids
+    are assigned in sorted label order so construction is deterministic.
+    """
+    labels = sorted(coords, key=repr)
+    ids = {label: i for i, label in enumerate(labels)}
+    coord_list = [coords[label] for label in labels]
+    edge_list = [(ids[u], ids[v], w) for u, v, w in edges]
+    return RoadNetwork(coord_list, edge_list), ids
+
+
+def metric_violation_ratio(network: RoadNetwork) -> float:
+    """Return ``max ‖uv‖ / |uv|`` over all edges (1.0 for an empty graph).
+
+    A value above 1 means some edge is shorter than the straight line
+    between its endpoints, which breaks A* admissibility.
+    """
+    worst = 1.0
+    for edge in network.edges():
+        straight = network.euclidean_length(edge.u, edge.v)
+        if straight == 0.0:
+            continue
+        if edge.weight == 0.0:
+            raise ValueError(
+                f"zero-weight edge {edge.key} between distinct coordinates")
+        ratio = straight / edge.weight
+        if ratio > worst:
+            worst = ratio
+    return worst
+
+
+def scale_weights_to_metric(network: RoadNetwork,
+                            slack: float = 1.0 + 1e-9) -> RoadNetwork:
+    """Return a network whose weights satisfy ``|uv| ≥ ‖uv‖`` on every edge.
+
+    All weights are multiplied by the single smallest factor that restores
+    the invariant (times ``slack`` to absorb floating-point rounding), so
+    shortest paths are unchanged.  Returns the input network unchanged when
+    it already satisfies the invariant.
+    """
+    factor = metric_violation_ratio(network)
+    if factor <= 1.0:
+        return network
+    factor *= slack
+    coords = list(network.coords)
+    edges = [(e.u, e.v, e.weight * factor) for e in network.edges()]
+    return RoadNetwork(coords, edges)
+
+
+def validate_network(network: RoadNetwork, require_connected: bool = True,
+                     require_metric: bool = True,
+                     max_degree: int = 16) -> List[str]:
+    """Return a list of violations of the Section II road-network model.
+
+    An empty list means the network satisfies every assumption the DPS
+    algorithms rely on: connectivity (shortest paths exist between all
+    pairs), metric weights (A* admissibility), and bounded degree (the
+    complexity analyses treat the maximum degree as a small constant).
+    """
+    problems: List[str] = []
+    if network.num_vertices == 0:
+        problems.append("network has no vertices")
+        return problems
+    if require_connected and not is_connected(network):
+        problems.append("network is not connected")
+    if require_metric:
+        ratio = metric_violation_ratio(network)
+        if ratio > 1.0 + 1e-12:
+            problems.append(
+                f"metric violation: some edge has ‖uv‖/|uv| = {ratio:.6f} > 1"
+                " (run scale_weights_to_metric)")
+    degree = network.max_degree()
+    if degree > max_degree:
+        problems.append(
+            f"maximum degree {degree} exceeds the bounded-degree limit"
+            f" {max_degree}")
+    return problems

@@ -1,0 +1,69 @@
+"""Connectivity utilities.
+
+The DPS problem statement assumes a connected network (otherwise some
+``dist(s, t)`` is undefined).  Real datasets and synthetic generators can
+produce stray components, so dataset preparation extracts the largest one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+from repro.graph.network import RoadNetwork
+
+
+def connected_components(network: RoadNetwork) -> List[Set[int]]:
+    """Return the connected components as vertex-id sets, largest first."""
+    n = network.num_vertices
+    seen = bytearray(n)
+    components: List[Set[int]] = []
+    adjacency = network.adjacency
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        component = {start}
+        queue = deque((start,))
+        while queue:
+            u = queue.popleft()
+            for v, _ in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = 1
+                    component.add(v)
+                    queue.append(v)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(network: RoadNetwork) -> bool:
+    """Return True when every vertex is reachable from vertex 0."""
+    n = network.num_vertices
+    if n <= 1:
+        return True
+    seen = bytearray(n)
+    seen[0] = 1
+    reached = 1
+    queue = deque((0,))
+    adjacency = network.adjacency
+    while queue:
+        u = queue.popleft()
+        for v, _ in adjacency[u]:
+            if not seen[v]:
+                seen[v] = 1
+                reached += 1
+                queue.append(v)
+    return reached == n
+
+
+def largest_component(network: RoadNetwork) -> RoadNetwork:
+    """Return the subgraph induced by the largest connected component.
+
+    Returns the input network unchanged when it is already connected.
+    """
+    if is_connected(network):
+        return network
+    biggest = connected_components(network)[0]
+    subgraph, _ = network.induced_subgraph(biggest)
+    return subgraph

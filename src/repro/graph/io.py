@@ -1,0 +1,138 @@
+"""DIMACS road-network I/O.
+
+The paper's datasets come from the 9th DIMACS Implementation Challenge
+site [18], which distributes each network as a pair of files:
+
+- a graph file (``.gr``): ``p sp <n> <m>`` header plus ``a <u> <v> <w>``
+  arc lines (directed arcs; road networks list both directions), and
+- a coordinate file (``.co``): ``p aux sp co <n>`` header plus
+  ``v <id> <x> <y>`` lines.
+
+Vertex ids are 1-based in the files and remapped to the 0-based contiguous
+ids of :class:`~repro.graph.network.RoadNetwork`.  The writer emits the
+same format so that DPS results can round-trip (e.g. shipped to a mobile
+client as in the paper's motivating scenario).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.graph.network import RoadNetwork
+
+PathOrFile = Union[str, os.PathLike, io.TextIOBase]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, io.TextIOBase):
+        return source, False
+    return open(source, "r", encoding="ascii"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, io.TextIOBase):
+        return target, False
+    return open(target, "w", encoding="ascii"), True
+
+
+class DimacsFormatError(ValueError):
+    """Raised when a DIMACS file is malformed."""
+
+
+def _parse_coordinates(source: PathOrFile) -> Dict[int, Tuple[float, float]]:
+    stream, owned = _open_for_read(source)
+    coords: Dict[int, Tuple[float, float]] = {}
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line[0] in "cp":
+                continue
+            parts = line.split()
+            if parts[0] != "v" or len(parts) != 4:
+                raise DimacsFormatError(
+                    f"coordinate line {line_number}: expected"
+                    f" 'v id x y', got {line!r}")
+            coords[int(parts[1])] = (float(parts[2]), float(parts[3]))
+    finally:
+        if owned:
+            stream.close()
+    if not coords:
+        raise DimacsFormatError("coordinate file contains no 'v' lines")
+    return coords
+
+
+def _parse_arcs(source: PathOrFile) -> List[Tuple[int, int, float]]:
+    stream, owned = _open_for_read(source)
+    arcs: List[Tuple[int, int, float]] = []
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line[0] in "cp":
+                continue
+            parts = line.split()
+            if parts[0] != "a" or len(parts) != 4:
+                raise DimacsFormatError(
+                    f"graph line {line_number}: expected"
+                    f" 'a u v w', got {line!r}")
+            arcs.append((int(parts[1]), int(parts[2]), float(parts[3])))
+    finally:
+        if owned:
+            stream.close()
+    if not arcs:
+        raise DimacsFormatError("graph file contains no 'a' lines")
+    return arcs
+
+
+def read_dimacs(graph_source: PathOrFile,
+                coordinate_source: PathOrFile) -> RoadNetwork:
+    """Read a DIMACS ``.gr``/``.co`` pair into a :class:`RoadNetwork`.
+
+    Arc directions collapse into undirected edges (the paper's model);
+    asymmetric duplicate arcs keep the lighter weight.  Vertices that
+    appear in the coordinate file but touch no arc are preserved as
+    isolated vertices (callers typically follow with
+    :func:`repro.graph.components.largest_component`).
+    """
+    coords = _parse_coordinates(coordinate_source)
+    arcs = _parse_arcs(graph_source)
+    ids = {vertex: index for index, vertex in enumerate(sorted(coords))}
+    coord_list = [coords[vertex] for vertex in sorted(coords)]
+    edges = []
+    for u, v, w in arcs:
+        if u not in ids or v not in ids:
+            raise DimacsFormatError(
+                f"arc ({u}, {v}) references a vertex missing from the"
+                " coordinate file")
+        if u == v:
+            continue  # DIMACS data occasionally contains self-loops
+        edges.append((ids[u], ids[v], w))
+    return RoadNetwork(coord_list, edges)
+
+
+def write_dimacs(network: RoadNetwork, graph_target: PathOrFile,
+                 coordinate_target: PathOrFile,
+                 comment: str = "written by repro") -> None:
+    """Write a network as a DIMACS ``.gr``/``.co`` pair (1-based ids,
+    both arc directions, weights rendered with full float precision)."""
+    stream, owned = _open_for_write(graph_target)
+    try:
+        stream.write(f"c {comment}\n")
+        stream.write(f"p sp {network.num_vertices} {2 * network.num_edges}\n")
+        for edge in network.edges():
+            stream.write(f"a {edge.u + 1} {edge.v + 1} {edge.weight!r}\n")
+            stream.write(f"a {edge.v + 1} {edge.u + 1} {edge.weight!r}\n")
+    finally:
+        if owned:
+            stream.close()
+    stream, owned = _open_for_write(coordinate_target)
+    try:
+        stream.write(f"c {comment}\n")
+        stream.write(f"p aux sp co {network.num_vertices}\n")
+        for vertex in network.vertices():
+            x, y = network.coord(vertex)
+            stream.write(f"v {vertex + 1} {x!r} {y!r}\n")
+    finally:
+        if owned:
+            stream.close()

@@ -1,0 +1,52 @@
+"""Shortest-path engines.
+
+Every DPS algorithm in the paper reduces to shortest-path computations on
+the road network:
+
+- :mod:`repro.shortestpath.heap` -- an addressable binary heap with
+  decrease-key, the priority queue behind every search.
+- :mod:`repro.shortestpath.dijkstra` -- single-source shortest paths with
+  target-set and radius early termination (BL-Q, BL-E, the convex hull
+  method).
+- :mod:`repro.shortestpath.astar` -- point-to-point A* with the Euclidean
+  lower-bound heuristic [13] (cut computation, the Section VII-C
+  experiment).
+- :mod:`repro.shortestpath.bidirectional` -- the dual-heap search of
+  Section V-B.2 that computes both bridge domains in one pass, plus a
+  classic bidirectional Dijkstra for point-to-point queries.
+- :mod:`repro.shortestpath.paths` -- predecessor-tree path reconstruction
+  and the ``O(|E|)`` vertex-collection routine of Section III-A.
+- :mod:`repro.shortestpath.dense` -- the array-based A* of the paper's
+  Section VII-C experiment (per-query full initialisation), which is also
+  the right engine for a high query rate on a small extracted DPS.
+
+Three index families can be *built on a DPS* (the Section I deployment):
+:mod:`repro.shortestpath.alt` (landmarks), :mod:`repro.shortestpath.ch`
+(contraction hierarchies, [15] of the paper) and
+:mod:`repro.shortestpath.hub_labels` (2-hop labels, [9] of the paper).
+"""
+
+from repro.shortestpath.alt import ALTIndex
+from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_ppsp, bridge_domains
+from repro.shortestpath.ch import ContractionHierarchy
+from repro.shortestpath.dense import DensePPSPEngine
+from repro.shortestpath.dijkstra import ShortestPathTree, sssp
+from repro.shortestpath.heap import AddressableHeap
+from repro.shortestpath.hub_labels import HubLabelIndex
+from repro.shortestpath.paths import collect_path_vertices, reconstruct_path
+
+__all__ = [
+    "ALTIndex",
+    "AddressableHeap",
+    "ContractionHierarchy",
+    "DensePPSPEngine",
+    "HubLabelIndex",
+    "ShortestPathTree",
+    "astar",
+    "bidirectional_ppsp",
+    "bridge_domains",
+    "collect_path_vertices",
+    "reconstruct_path",
+    "sssp",
+]

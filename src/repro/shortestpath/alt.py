@@ -1,0 +1,168 @@
+"""ALT: A* with landmarks and the triangle inequality.
+
+Section I of the paper positions DPS extraction as the enabler for
+heavyweight shortest-path indices: "If the region of interest is
+constrained, one can issue a DPS query and build the indices on the DPS.
+Since the subgraph is distance-preserving, the shortest paths between
+points of interest are correctly obtained from the indices."
+
+This module provides such an index.  ALT pre-computes exact distances
+from a few *landmark* vertices; the triangle inequality then gives an
+admissible, consistent A* heuristic ``h(v) = max_L |d(L, v) - d(L, t)|``
+that -- unlike the Euclidean bound -- knows about detours, rivers and
+missing edges.  Pre-computing landmark tables over a whole road network
+is expensive (the very cost the DPS avoids); over an extracted DPS it is
+a few small Dijkstra runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import sssp
+from repro.shortestpath.paths import reconstruct_path
+
+
+@dataclass(frozen=True)
+class ALTQueryResult:
+    """One ALT point-to-point answer."""
+
+    source: int
+    target: int
+    distance: float
+    path: List[int]
+    expanded: int
+
+
+class ALTIndex:
+    """A landmark distance index over one (connected) network.
+
+    Parameters
+    ----------
+    network:
+        The graph to index -- typically a DPS extracted with
+        :meth:`repro.core.dps.DPSResult.extract`.
+    landmark_count:
+        Number of landmarks.  Each costs one full Dijkstra at build time
+        and one subtraction per heuristic evaluation at query time; 4-16
+        is the usual range.
+    seed:
+        Seeds the choice of the first landmark; the rest follow the
+        deterministic farthest-point rule (each new landmark maximises
+        its distance to the chosen ones), which pushes landmarks to the
+        periphery where their bounds are tightest.
+    """
+
+    def __init__(self, network: RoadNetwork, landmark_count: int = 8,
+                 seed: int = 0) -> None:
+        if landmark_count < 1:
+            raise ValueError("need at least one landmark")
+        if network.num_vertices == 0:
+            raise ValueError("cannot index an empty network")
+        self._network = network
+        self.landmarks: List[int] = []
+        self._tables: List[List[float]] = []
+        n = network.num_vertices
+        rng = random.Random(seed)
+        first = rng.randrange(n)
+        # Farthest-point selection, bootstrapped by one throwaway sweep:
+        # the vertex farthest from a random start is a better first
+        # landmark than the start itself.
+        bootstrap = self._full_distances(first)
+        current = max(range(n), key=lambda v: (bootstrap[v], v))
+        min_dist: Optional[List[float]] = None
+        for _ in range(min(landmark_count, n)):
+            table = self._full_distances(current)
+            self.landmarks.append(current)
+            self._tables.append(table)
+            if min_dist is None:
+                min_dist = list(table)
+            else:
+                min_dist = [min(a, b) for a, b in zip(min_dist, table)]
+            current = max(range(n), key=lambda v: (min_dist[v], v))
+
+    def _full_distances(self, source: int) -> List[float]:
+        tree = sssp(self._network, source)
+        if len(tree.dist) != self._network.num_vertices:
+            raise ValueError(
+                "ALT requires a connected network; extract the DPS (its"
+                " induced subgraph is connected for the query region)")
+        table = [0.0] * self._network.num_vertices
+        for v, d in tree.dist.items():
+            table[v] = d
+        return table
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def landmark_count(self) -> int:
+        return len(self.landmarks)
+
+    def lower_bound(self, v: int, target: int) -> float:
+        """Return the triangle-inequality bound ``max_L |d(L,v)-d(L,t)|``.
+
+        Admissible: both orientations of the triangle inequality give
+        ``|d(L,v) - d(L,t)| ≤ d(v,t)``.
+        """
+        best = 0.0
+        for table in self._tables:
+            bound = table[v] - table[target]
+            if bound < 0:
+                bound = -bound
+            if bound > best:
+                best = bound
+        return best
+
+    def query(self, source: int, target: int) -> ALTQueryResult:
+        """Answer a point-to-point query with ALT-guided A*."""
+        network = self._network
+        adjacency = network.adjacency
+        tables = self._tables
+
+        def h(v: int) -> float:
+            best = 0.0
+            for table in tables:
+                bound = table[v] - table[target]
+                if bound < 0:
+                    bound = -bound
+                if bound > best:
+                    best = bound
+            return best
+
+        g_score: Dict[int, float] = {source: 0.0}
+        pred: Dict[int, int] = {}
+        settled = set()
+        frontier: List[Tuple[float, float, int]] = [(h(source), 0.0, source)]
+        expanded = 0
+        while frontier:
+            _, g, u = heapq.heappop(frontier)
+            if u in settled:
+                continue
+            settled.add(u)
+            expanded += 1
+            if u == target:
+                return ALTQueryResult(source, target, g,
+                                      reconstruct_path(pred, source, target),
+                                      expanded)
+            for v, w in adjacency[u]:
+                if v in settled:
+                    continue
+                candidate = g + w
+                known = g_score.get(v)
+                if known is None or candidate < known:
+                    g_score[v] = candidate
+                    pred[v] = u
+                    heapq.heappush(frontier, (candidate + h(v), candidate, v))
+        raise ValueError(f"no path from {source} to {target}")
+
+    def table_bytes(self) -> int:
+        """Return the landmark-table footprint (8 bytes per entry) --
+        the cost that makes building on a DPS instead of the network
+        worthwhile."""
+        return 8 * len(self._tables) * self._network.num_vertices

@@ -1,0 +1,83 @@
+"""Point-to-point A* with the Euclidean lower-bound heuristic.
+
+The paper computes its partitioning cuts with "the A* algorithm [13]"
+(Section IV-B.3) and uses A* again for the point-to-point experiments of
+Section VII-C.  The heuristic is the straight-line distance to the target,
+admissible because the experiments scale edge weights so that
+``|uv| ≥ ‖uv‖`` (Section VII; see
+:func:`repro.graph.builder.scale_weights_to_metric`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.paths import reconstruct_path
+
+
+@dataclass(frozen=True)
+class AStarResult:
+    """Outcome of one A* run.
+
+    ``expanded`` counts settled vertices -- the "irrelevant vertex"
+    measure behind the paper's claim that PPSP on a DPS is much faster
+    than on the full network.
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: List[int]
+    expanded: int
+
+
+def astar(network: RoadNetwork, source: int, target: int,
+          allowed: Optional[Set[int]] = None) -> AStarResult:
+    """Return the shortest path from ``source`` to ``target``.
+
+    ``allowed`` restricts the search to a vertex subset (running a PPSP
+    query *on a DPS* without materialising the subgraph).  Raises
+    ValueError when no path exists within the allowed set -- for a DPS
+    produced by any algorithm in this library that would mean the DPS is
+    not distance-preserving, so failing loudly is the right behaviour.
+    """
+    if allowed is not None and (source not in allowed or target not in allowed):
+        raise ValueError("source or target outside the allowed set")
+    coords = network.coords
+    tx, ty = coords[target]
+
+    def heuristic(v: int) -> float:
+        c = coords[v]
+        return math.hypot(c[0] - tx, c[1] - ty)
+
+    adjacency = network.adjacency
+    g_score: Dict[int, float] = {source: 0.0}
+    pred: Dict[int, int] = {}
+    settled: Set[int] = set()
+    frontier: List[Tuple[float, float, int]] = [(heuristic(source), 0.0, source)]
+    expanded = 0
+    while frontier:
+        _, g, u = heapq.heappop(frontier)
+        if u in settled:
+            continue
+        settled.add(u)
+        expanded += 1
+        if u == target:
+            path = reconstruct_path(pred, source, target)
+            return AStarResult(source, target, g, path, expanded)
+        for v, w in adjacency[u]:
+            if v in settled or (allowed is not None and v not in allowed):
+                continue
+            candidate = g + w
+            known = g_score.get(v)
+            if known is None or candidate < known:
+                g_score[v] = candidate
+                pred[v] = u
+                heapq.heappush(frontier,
+                               (candidate + heuristic(v), candidate, v))
+    raise ValueError(f"no path from {source} to {target}"
+                     + (" within the allowed set" if allowed is not None else ""))

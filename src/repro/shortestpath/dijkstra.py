@@ -1,0 +1,197 @@
+"""Dijkstra single-source shortest paths with early termination.
+
+The DPS algorithms never need a full SSSP sweep:
+
+- BL-Q (Section III-A) stops "as soon as the shortest paths from ``s`` to
+  all vertices in ``T`` are computed" -- target-set termination.
+- BL-E (Section III-B) first runs until the query set is settled, *then
+  continues the same search* out to radius ``2r`` -- which is why the
+  engine here is a resumable :class:`DijkstraSearch` object rather than a
+  one-shot function.
+- Query processing on a DPS (Section VII-C) restricts the search to the
+  DPS vertex set: "vertices in ``V − V'`` are neither initialized ... nor
+  visited" -- the ``allowed`` parameter.
+
+The priority queue is the stdlib ``heapq`` with stale-entry skipping; for
+the sparse, bounded-degree graphs of the road-network model this is the
+fastest pure-Python formulation (decrease-key buys nothing when the heap
+holds at most ``O(|E|)`` entries and ``|E| = O(|V|)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.paths import reconstruct_path
+
+
+@dataclass
+class ShortestPathTree:
+    """The result of a (possibly truncated) Dijkstra search.
+
+    ``dist`` and ``pred`` cover exactly the settled vertices; a vertex
+    absent from ``dist`` was not proven shortest before the search stopped.
+    """
+
+    source: int
+    dist: Dict[int, float]
+    pred: Dict[int, int]
+    exhausted: bool = False
+    settled_order: List[int] = field(default_factory=list)
+
+    def reached(self, v: int) -> bool:
+        """Return True when ``v`` was settled."""
+        return v in self.dist
+
+    def distance(self, v: int) -> float:
+        """Return ``dist(source, v)``; KeyError when ``v`` is unsettled."""
+        return self.dist[v]
+
+    def path_to(self, v: int) -> List[int]:
+        """Return the vertex sequence of ``sp(source, v)``."""
+        return reconstruct_path(self.pred, self.source, v)
+
+
+class DijkstraSearch:
+    """A resumable Dijkstra search from one source.
+
+    The search can be advanced in stages (settle the next vertex, settle
+    until a target set is covered, settle out to a radius) and inspected at
+    any point, which is exactly the control BL-E and the dual-heap bridge
+    search need.
+    """
+
+    def __init__(self, network: RoadNetwork, source: int,
+                 allowed: Optional[Set[int]] = None) -> None:
+        if allowed is not None and source not in allowed:
+            raise ValueError(f"source {source} not in the allowed set")
+        self._adjacency = network.adjacency
+        self._allowed = allowed
+        self.source = source
+        self.dist: Dict[int, float] = {}
+        self.pred: Dict[int, int] = {}
+        self.settled_order: List[int] = []
+        self._best: Dict[int, float] = {source: 0.0}
+        self._frontier: List[Tuple[float, int]] = [(0.0, source)]
+        self.expanded = 0  # vertices settled; the VII-C efficiency metric
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def tentative(self, v: int) -> Optional[float]:
+        """Return the best distance label known for ``v`` so far -- the
+        settled distance, a frontier estimate, or None when unreached."""
+        return self._best.get(v)
+
+    def next_key(self) -> Optional[float]:
+        """Return the distance at which the next vertex will settle, or
+        None when the search is exhausted.  Does not advance the search."""
+        frontier = self._frontier
+        dist = self.dist
+        while frontier and frontier[0][1] in dist:
+            heapq.heappop(frontier)  # stale entry
+        return frontier[0][0] if frontier else None
+
+    def is_exhausted(self) -> bool:
+        return self.next_key() is None
+
+    def settle_next(self) -> Optional[Tuple[int, float]]:
+        """Settle and return the next ``(vertex, distance)``, or None."""
+        frontier = self._frontier
+        dist = self.dist
+        while frontier:
+            d, u = heapq.heappop(frontier)
+            if u in dist:
+                continue
+            dist[u] = d
+            self.settled_order.append(u)
+            self.expanded += 1
+            best = self._best
+            pred = self.pred
+            allowed = self._allowed
+            for v, w in self._adjacency[u]:
+                if v in dist or (allowed is not None and v not in allowed):
+                    continue
+                candidate = d + w
+                known = best.get(v)
+                if known is None or candidate < known:
+                    best[v] = candidate
+                    pred[v] = u
+                    heapq.heappush(frontier, (candidate, v))
+            return u, d
+        return None
+
+    # ------------------------------------------------------------------
+    # Staged runs
+    # ------------------------------------------------------------------
+
+    def run_until_settled(self, targets: Iterable[int]) -> bool:
+        """Settle vertices until every target is settled.
+
+        Returns False when the search exhausts the (reachable, allowed)
+        graph with some target still unreached.
+        """
+        remaining = {t for t in targets if t not in self.dist}
+        while remaining:
+            step = self.settle_next()
+            if step is None:
+                return False
+            remaining.discard(step[0])
+        return True
+
+    def run_until_beyond(self, radius: float) -> None:
+        """Settle every vertex with distance ≤ ``radius``.
+
+        Stops as soon as the next settlement would exceed the radius; the
+        vertex beyond the radius is left unsettled (Theorem 1 of the paper
+        guarantees it cannot lie on a query shortest path).
+        """
+        while True:
+            key = self.next_key()
+            if key is None or key > radius:
+                return
+            self.settle_next()
+
+    def run_to_exhaustion(self) -> None:
+        """Settle every reachable allowed vertex."""
+        while self.settle_next() is not None:
+            pass
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def tree(self) -> ShortestPathTree:
+        """Return the current state as a :class:`ShortestPathTree`.
+
+        The tree shares (does not copy) the search's dictionaries; advance
+        the search further and the tree sees the updates.
+        """
+        return ShortestPathTree(self.source, self.dist, self.pred,
+                                exhausted=self.is_exhausted(),
+                                settled_order=self.settled_order)
+
+
+def sssp(network: RoadNetwork, source: int,
+         targets: Optional[Iterable[int]] = None,
+         radius: Optional[float] = None,
+         allowed: Optional[Set[int]] = None) -> ShortestPathTree:
+    """Run a Dijkstra search and return its shortest-path tree.
+
+    ``targets`` and ``radius`` each bound the search (whichever applies
+    last wins: with both given, the search settles all targets and then
+    continues out to the radius).  With neither, the search exhausts the
+    reachable graph.
+    """
+    search = DijkstraSearch(network, source, allowed)
+    if targets is not None:
+        search.run_until_settled(targets)
+    if radius is not None:
+        search.run_until_beyond(radius)
+    if targets is None and radius is None:
+        search.run_to_exhaustion()
+    return search.tree()

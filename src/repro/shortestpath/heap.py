@@ -1,0 +1,145 @@
+"""An addressable binary min-heap with decrease-key.
+
+Dijkstra's algorithm as described in the paper (Section V-B.2) "uses a
+min-heap to keep those vertices whose distance from the source vertex has
+not been determined, where the key is the estimated distance".  The
+dual-heap bridge-domain computation additionally needs to *peek* at the
+minimum keys of two heaps to decide which search advances, which the
+stdlib ``heapq`` only supports awkwardly through stale-entry skipping.
+
+This heap keeps an item → position index so ``decrease_key`` and
+membership tests are ``O(log n)`` and ``O(1)``; items must be hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+class AddressableHeap(Generic[ItemT]):
+    """A binary min-heap of ``(key, item)`` pairs supporting decrease-key.
+
+    Each item may appear at most once; pushing an existing item raises
+    (use :meth:`decrease_key`, or :meth:`push_or_decrease` when the caller
+    does not know whether the item is present).
+    """
+
+    __slots__ = ("_entries", "_position")
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, ItemT]] = []
+        self._position: Dict[ItemT, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._position
+
+    def key_of(self, item: ItemT) -> float:
+        """Return the current key of ``item`` (KeyError when absent)."""
+        return self._entries[self._position[item]][0]
+
+    def min_key(self) -> Optional[float]:
+        """Return the smallest key without removing it, or None if empty."""
+        return self._entries[0][0] if self._entries else None
+
+    def peek(self) -> Tuple[float, ItemT]:
+        """Return the minimum ``(key, item)`` without removing it."""
+        if not self._entries:
+            raise IndexError("peek on an empty heap")
+        return self._entries[0]
+
+    def push(self, key: float, item: ItemT) -> None:
+        """Insert a new item with the given key."""
+        if item in self._position:
+            raise KeyError(f"item already in heap: {item!r}")
+        self._entries.append((key, item))
+        self._position[item] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def decrease_key(self, key: float, item: ItemT) -> None:
+        """Lower the key of an existing item (no-op for equal keys)."""
+        index = self._position[item]
+        current = self._entries[index][0]
+        if key > current:
+            raise ValueError(
+                f"decrease_key would increase key of {item!r}:"
+                f" {current} -> {key}")
+        if key == current:
+            return
+        self._entries[index] = (key, item)
+        self._sift_up(index)
+
+    def push_or_decrease(self, key: float, item: ItemT) -> bool:
+        """Insert ``item`` or lower its key; the edge-relaxation idiom.
+
+        Returns True when the heap changed (new item, or a strictly lower
+        key); False when the item is already present with a key ≤ ``key``.
+        """
+        index = self._position.get(item)
+        if index is None:
+            self.push(key, item)
+            return True
+        if key < self._entries[index][0]:
+            self._entries[index] = (key, item)
+            self._sift_up(index)
+            return True
+        return False
+
+    def pop(self) -> Tuple[float, ItemT]:
+        """Remove and return the minimum ``(key, item)``."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        top = self._entries[0]
+        last = self._entries.pop()
+        del self._position[top[1]]
+        if self._entries:
+            self._entries[0] = last
+            self._position[last[1]] = 0
+            self._sift_down(0)
+        return top
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._position.clear()
+
+    # ------------------------------------------------------------------
+    # Sifting
+    # ------------------------------------------------------------------
+
+    def _sift_up(self, index: int) -> None:
+        entries = self._entries
+        position = self._position
+        entry = entries[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if entries[parent][0] <= entry[0]:
+                break
+            entries[index] = entries[parent]
+            position[entries[index][1]] = index
+            index = parent
+        entries[index] = entry
+        position[entry[1]] = index
+
+    def _sift_down(self, index: int) -> None:
+        entries = self._entries
+        position = self._position
+        size = len(entries)
+        entry = entries[index]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and entries[right][0] < entries[child][0]:
+                child = right
+            if entries[child][0] >= entry[0]:
+                break
+            entries[index] = entries[child]
+            position[entries[index][1]] = index
+            index = child
+        entries[index] = entry
+        position[entry[1]] = index

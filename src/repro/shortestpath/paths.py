@@ -1,0 +1,65 @@
+"""Path reconstruction and the O(|E|) vertex-collection routine.
+
+Section III-A of the paper observes that after one SSSP round, adding the
+vertices of ``sp(s, t)`` for *every* ``t ∈ T`` can be done in ``O(|E|)``
+total: walk each target's predecessor chain and stop at the first vertex
+already collected *in this round*, because the rest of the chain -- the
+prefix ``sp(s, v)`` -- was collected when that vertex was first reached.
+Each predecessor-tree edge is traversed at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+def reconstruct_path(pred: Dict[int, int], source: int,
+                     target: int) -> List[int]:
+    """Return the vertex sequence from ``source`` to ``target`` encoded in
+    a predecessor map.  Raises KeyError when ``target`` was never reached.
+    """
+    if target == source:
+        return [source]
+    chain = [target]
+    v = target
+    while v != source:
+        v = pred[v]
+        chain.append(v)
+    chain.reverse()
+    return chain
+
+
+def collect_path_vertices(pred: Dict[int, int], source: int,
+                          targets: Iterable[int],
+                          into: Set[int]) -> None:
+    """Add the vertices of ``sp(source, t)`` for every target to ``into``.
+
+    Implements the Section III-A collection: a per-call visited set ``C``
+    terminates each walk at the first vertex whose chain prefix was already
+    collected during *this* call.  Note ``C`` must be local to the call --
+    ``into`` may already hold vertices collected from other shortest-path
+    trees, whose presence says nothing about this tree's chains.
+
+    Targets missing from ``pred`` (unreached by the truncated search) raise
+    KeyError, surfacing the caller's termination bug rather than silently
+    producing a non-distance-preserving result.
+    """
+    collected_here: Set[int] = set()
+    for target in targets:
+        v = target
+        while v not in collected_here:
+            collected_here.add(v)
+            into.add(v)
+            if v == source:
+                break
+            v = pred[v]
+
+
+def path_length(network_weights, path: List[int]) -> float:
+    """Return the total weight of a vertex path.
+
+    ``network_weights`` is any object exposing ``edge_weight(u, v)`` (a
+    :class:`~repro.graph.network.RoadNetwork` in practice).
+    """
+    return sum(network_weights.edge_weight(path[i], path[i + 1])
+               for i in range(len(path) - 1))

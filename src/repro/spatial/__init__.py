@@ -1,0 +1,53 @@
+"""Spatial substrate: geometry kernel, rectangles, R-trees, polygons, hulls.
+
+This package provides every spatial primitive the DPS algorithms rely on:
+
+- :mod:`repro.spatial.geometry` -- points, segments, orientation tests,
+  clockwise angles and exact segment intersection.
+- :mod:`repro.spatial.rect` -- axis-aligned rectangles and MBRs.
+- :mod:`repro.spatial.rtree` -- an STR bulk-loaded R-tree with range,
+  segment-intersection and nearest-neighbour queries (the ``Rtree(V)`` and
+  ``Rtree(E)`` structures of Section II of the paper).
+- :mod:`repro.spatial.polygon` -- ray-casting point-in-polygon tests used by
+  RoadPart's zone assignment.
+- :mod:`repro.spatial.hull` -- Andrew's monotone chain convex hull used by
+  the convex hull DPS method.
+"""
+
+from repro.spatial.geometry import (
+    EPS,
+    Point,
+    clockwise_angle,
+    cross,
+    dot,
+    euclidean,
+    on_segment,
+    orientation,
+    segment_intersection_point,
+    segments_intersect,
+)
+from repro.spatial.hull import convex_hull, point_in_convex_polygon
+from repro.spatial.polygon import point_in_polygon, polygon_signed_area
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import PointRTree, RTree, SegmentRTree
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Rect",
+    "RTree",
+    "PointRTree",
+    "SegmentRTree",
+    "clockwise_angle",
+    "convex_hull",
+    "cross",
+    "dot",
+    "euclidean",
+    "on_segment",
+    "orientation",
+    "point_in_convex_polygon",
+    "point_in_polygon",
+    "polygon_signed_area",
+    "segment_intersection_point",
+    "segments_intersect",
+]

@@ -1,0 +1,169 @@
+"""Planar geometry kernel.
+
+All DPS algorithms in this library reason about a road network embedded in
+the plane: the contour walk turns by clockwise angles, bridges are detected
+as crossing segments, and the convex hull method clips shortest paths at
+polygon borders.  This module provides those primitives on plain ``(x, y)``
+pairs (a :class:`Point` is a ``NamedTuple`` so any 2-sequence works).
+
+Numerical policy: predicates use an absolute epsilon (:data:`EPS`) on cross
+products.  Road-network coordinates in this library are O(1)..O(10^4) in
+magnitude, for which an absolute tolerance is appropriate; callers working
+at other scales can pass an explicit ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional, Sequence
+
+#: Absolute tolerance for orientation / collinearity predicates.
+EPS = 1e-9
+
+_TWO_PI = 2.0 * math.pi
+
+
+class Point(NamedTuple):
+    """A point in the plane.  Interchangeable with any ``(x, y)`` pair."""
+
+    x: float
+    y: float
+
+
+def euclidean(p: Sequence[float], q: Sequence[float]) -> float:
+    """Return the Euclidean distance ``‖pq‖`` between two points."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def dot(u: Sequence[float], v: Sequence[float]) -> float:
+    """Return the dot product of two vectors."""
+    return u[0] * v[0] + u[1] * v[1]
+
+
+def cross(u: Sequence[float], v: Sequence[float]) -> float:
+    """Return the z-component of the cross product of two vectors."""
+    return u[0] * v[1] - u[1] * v[0]
+
+
+def orientation(p: Sequence[float], q: Sequence[float], r: Sequence[float],
+                eps: float = EPS) -> int:
+    """Return the orientation of the ordered triple ``(p, q, r)``.
+
+    ``+1`` for a counter-clockwise turn, ``-1`` for clockwise, ``0`` when the
+    three points are collinear (within ``eps`` on the cross product).
+    """
+    value = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+    if value > eps:
+        return 1
+    if value < -eps:
+        return -1
+    return 0
+
+
+def on_segment(p: Sequence[float], a: Sequence[float], b: Sequence[float],
+               eps: float = EPS) -> bool:
+    """Return True when point ``p`` lies on the closed segment ``ab``."""
+    if orientation(a, b, p, eps) != 0:
+        return False
+    return (min(a[0], b[0]) - eps <= p[0] <= max(a[0], b[0]) + eps
+            and min(a[1], b[1]) - eps <= p[1] <= max(a[1], b[1]) + eps)
+
+
+def segments_intersect(a: Sequence[float], b: Sequence[float],
+                       c: Sequence[float], d: Sequence[float],
+                       eps: float = EPS) -> bool:
+    """Return True when closed segments ``ab`` and ``cd`` intersect.
+
+    Touching at an endpoint and collinear overlap both count as
+    intersection; use :func:`segments_cross_properly` when shared endpoints
+    must be excluded (as in bridge detection, where consecutive road edges
+    legitimately share a junction vertex).
+    """
+    o1 = orientation(a, b, c, eps)
+    o2 = orientation(a, b, d, eps)
+    o3 = orientation(c, d, a, eps)
+    o4 = orientation(c, d, b, eps)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(c, a, b, eps):
+        return True
+    if o2 == 0 and on_segment(d, a, b, eps):
+        return True
+    if o3 == 0 and on_segment(a, c, d, eps):
+        return True
+    if o4 == 0 and on_segment(b, c, d, eps):
+        return True
+    return False
+
+
+def segments_cross_properly(a: Sequence[float], b: Sequence[float],
+                            c: Sequence[float], d: Sequence[float],
+                            eps: float = EPS) -> bool:
+    """Return True when ``ab`` and ``cd`` cross at a single interior point.
+
+    This is the predicate that identifies *bridges* (Section V-A of the
+    paper): two road edges that fly over each other without sharing a
+    junction.  Endpoint contact and collinear overlap return False.
+    """
+    o1 = orientation(a, b, c, eps)
+    o2 = orientation(a, b, d, eps)
+    o3 = orientation(c, d, a, eps)
+    o4 = orientation(c, d, b, eps)
+    return o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4)
+
+
+def segment_intersection_point(a: Sequence[float], b: Sequence[float],
+                               c: Sequence[float], d: Sequence[float],
+                               eps: float = EPS) -> Optional[Point]:
+    """Return the intersection point of segments ``ab`` and ``cd``.
+
+    Returns None when the segments do not intersect or are collinear (a
+    collinear overlap has no unique intersection point).  Used by the
+    non-planar contour walk (Fig. 3(b) of the paper) to cut the walk at the
+    point where a bridge crosses the current boundary edge.
+    """
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = cross(r, s)
+    if abs(denom) <= eps:
+        return None
+    qp = (c[0] - a[0], c[1] - a[1])
+    t = cross(qp, s) / denom
+    u = cross(qp, r) / denom
+    if -eps <= t <= 1.0 + eps and -eps <= u <= 1.0 + eps:
+        return Point(a[0] + t * r[0], a[1] + t * r[1])
+    return None
+
+
+def clockwise_angle(prev_pt: Sequence[float], pivot: Sequence[float],
+                    next_pt: Sequence[float]) -> float:
+    """Return the clockwise angle swept from ray ``pivot→prev_pt`` to ray
+    ``pivot→next_pt``, in ``(0, 2π]``.
+
+    This is the turn measure used by the contour walk (Section IV-B.1):
+    choosing the neighbour that maximises this angle keeps the walk on the
+    outer boundary of the network.  A ``next_pt`` diametrically opposite
+    ``prev_pt`` yields π; a ray identical to ``pivot→prev_pt`` yields 2π,
+    so the walker must exclude the incoming edge from the candidates except
+    at dangling vertices (where the paper sets ``vnext = vpre``).
+    """
+    u = (prev_pt[0] - pivot[0], prev_pt[1] - pivot[1])
+    v = (next_pt[0] - pivot[0], next_pt[1] - pivot[1])
+    ccw = math.atan2(cross(u, v), dot(u, v))  # in (-pi, pi]
+    cw = -ccw
+    if cw <= 0.0:
+        cw += _TWO_PI
+    return cw
+
+
+def angle_from_east(origin: Sequence[float], target: Sequence[float]) -> float:
+    """Return the polar angle of ray ``origin→target`` in ``[0, 2π)``."""
+    angle = math.atan2(target[1] - origin[1], target[0] - origin[0])
+    if angle < 0.0:
+        angle += _TWO_PI
+    return angle
+
+
+def midpoint(p: Sequence[float], q: Sequence[float]) -> Point:
+    """Return the midpoint of segment ``pq``."""
+    return Point((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)

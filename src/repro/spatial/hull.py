@@ -1,0 +1,111 @@
+"""Convex hulls via Andrew's Monotone Chain algorithm.
+
+The convex hull DPS method (Section VI of the paper) computes ``hull(Q)``
+for a query point set and keeps everything inside it, citing Preparata &
+Shamos [11] for the ``O(|P| log |P|)`` monotone chain construction.  The
+same primitive is reused as a robust fallback contour strategy for
+RoadPart's partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.spatial.geometry import EPS, Point, on_segment, orientation
+
+
+def convex_hull(points: Sequence[Sequence[float]]) -> List[Point]:
+    """Return the convex hull of ``points`` in counter-clockwise order.
+
+    Collinear points on hull edges are dropped, so the result is the
+    minimal vertex set of the hull polygon.  Degenerate inputs degrade
+    gracefully: one point yields ``[p]``, collinear input yields the two
+    extreme points.
+
+    Chain building uses *exact* float orientation (eps = 0): an epsilon
+    tolerance here is actively harmful, because a pair of near-duplicate
+    input points makes the orientation of any triple through them tiny
+    in absolute terms, and an absolute epsilon would then discard
+    genuinely extreme vertices.  Tolerances belong in the containment
+    predicates, where slack only admits boundary-adjacent points.
+    """
+    unique = sorted({(p[0], p[1]) for p in points})
+    if len(unique) <= 2:
+        return [Point(*p) for p in unique]
+
+    def build(seq: List[tuple]) -> List[tuple]:
+        chain: List[tuple] = []
+        for p in seq:
+            while (len(chain) >= 2
+                   and orientation(chain[-2], chain[-1], p, 0.0) <= 0):
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(unique)
+    upper = build(unique[::-1])
+    ring = lower[:-1] + upper[:-1]
+    if len(ring) < 3:
+        # All points exactly collinear.  The spanning segment is the
+        # *farthest* pair, not the lexicographic extremes (for a
+        # vertical line, sort order and geometry agree only by luck).
+        # The diameter of a collinear set is achieved between
+        # bounding-box extremes, so four candidates suffice.
+        candidates = {
+            min(unique), max(unique),
+            min(unique, key=lambda p: (p[1], p[0])),
+            max(unique, key=lambda p: (p[1], p[0])),
+        }
+        pair = max(
+            ((a, b) for a in candidates for b in candidates),
+            key=lambda ab: (ab[0][0] - ab[1][0]) ** 2
+            + (ab[0][1] - ab[1][1]) ** 2)
+        ends = sorted(pair)
+        return [Point(*ends[0]), Point(*ends[1])]
+    return [Point(*p) for p in ring]
+
+
+def point_in_convex_polygon(p: Sequence[float],
+                            hull: Sequence[Sequence[float]],
+                            include_boundary: bool = True,
+                            eps: float = EPS) -> bool:
+    """Return True when ``p`` lies inside a counter-clockwise convex hull.
+
+    Works for the degenerate hulls :func:`convex_hull` can return: a single
+    point (membership means coincidence) and a two-point segment
+    (membership means lying on the segment).
+    """
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        hit = abs(p[0] - hull[0][0]) <= eps and abs(p[1] - hull[0][1]) <= eps
+        return hit and include_boundary
+    if n == 2:
+        return include_boundary and on_segment(p, hull[0], hull[1], eps)
+    # A strict right turn against any edge proves the point outside.  A
+    # zero turn alone proves nothing: with epsilon-collinear adjacent
+    # hull edges, a hull vertex can lie on the *supporting line* of a
+    # non-incident edge while sitting on the boundary -- so collinear
+    # verdicts are resolved by the remaining edges, and a point that is
+    # never strictly right is boundary (when it touches some edge or
+    # supporting line) or interior.
+    on_boundary = False
+    collinear_off_edge = False
+    for i in range(n):
+        turn = orientation(hull[i], hull[(i + 1) % n], p, eps)
+        if turn < 0:
+            return False
+        if turn == 0:
+            if on_segment(p, hull[i], hull[(i + 1) % n], eps):
+                on_boundary = True
+            else:
+                collinear_off_edge = True
+    if on_boundary:
+        return include_boundary
+    if collinear_off_edge:
+        # On a supporting line, inside every other half-plane, but on no
+        # edge segment: only possible within the eps slack of a
+        # degenerate (near-zero-area) hull corner; treat as boundary.
+        return include_boundary
+    return True

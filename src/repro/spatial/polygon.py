@@ -1,0 +1,90 @@
+"""Simple-polygon predicates.
+
+RoadPart's vertex-labelling Step 3 (Section IV-B.3) falls back to the ray
+casting algorithm to decide which zone an unlabelled vertex lies in: Zone
+``i`` is the polygon bounded by cut ``sp_{i-1}``, contour segment ``cs_i``
+and cut ``sp_i``.  Those polygons can be badly shaped (cuts are shortest
+paths, contours may contain dangling spurs traversed twice), so the test
+here is written for robustness rather than elegance: boundary points count
+as inside, and horizontal-ray degeneracies are resolved with the standard
+half-open edge rule plus an explicit on-boundary check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.spatial.geometry import EPS, on_segment
+
+
+def polygon_signed_area(polygon: Sequence[Sequence[float]]) -> float:
+    """Return the signed shoelace area (positive for counter-clockwise)."""
+    area = 0.0
+    n = len(polygon)
+    for i in range(n):
+        x1, y1 = polygon[i][0], polygon[i][1]
+        x2, y2 = polygon[(i + 1) % n][0], polygon[(i + 1) % n][1]
+        area += x1 * y2 - x2 * y1
+    return area / 2.0
+
+
+def point_on_polygon_boundary(p: Sequence[float],
+                              polygon: Sequence[Sequence[float]],
+                              eps: float = EPS) -> bool:
+    """Return True when ``p`` lies on an edge of the polygon."""
+    n = len(polygon)
+    for i in range(n):
+        if on_segment(p, polygon[i], polygon[(i + 1) % n], eps):
+            return True
+    return False
+
+
+def point_in_polygon(p: Sequence[float], polygon: Sequence[Sequence[float]],
+                     include_boundary: bool = True,
+                     eps: float = EPS) -> bool:
+    """Ray-casting point-in-polygon test for arbitrary simple polygons.
+
+    The polygon is a vertex sequence, implicitly closed.  Degenerate
+    (zero-width) spurs, which arise from contour subsequences such as
+    ``⟨a, b, c, b, a⟩`` (Fig. 1(a) of the paper), contribute nothing to the
+    crossing count, so a polygon containing them behaves as if the spur
+    were removed -- except that points *on* the spur are treated as
+    boundary points.
+    """
+    if len(polygon) < 3:
+        return include_boundary and point_on_polygon_boundary(p, polygon, eps)
+    if point_on_polygon_boundary(p, polygon, eps):
+        return include_boundary
+    x, y = p[0], p[1]
+    inside = False
+    n = len(polygon)
+    for i in range(n):
+        x1, y1 = polygon[i][0], polygon[i][1]
+        x2, y2 = polygon[(i + 1) % n][0], polygon[(i + 1) % n][1]
+        # Half-open rule: an edge contributes when the ray from p to +x
+        # crosses it with y strictly between the endpoint ys (one endpoint
+        # included).  This counts shared vertices exactly once.
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x_cross > x:
+                inside = not inside
+    return inside
+
+
+def chain_to_polygon(*chains: Sequence[Sequence[float]]) -> List[Sequence[float]]:
+    """Concatenate point chains into one polygon ring, dropping duplicate
+    junction points where one chain ends where the next begins.
+
+    RoadPart builds Zone ``i``'s polygon from three chains: the cut
+    ``sp_{i-1}`` (border vertex → contour), the contour segment ``cs_i``,
+    and the reversed cut ``sp_i`` (contour → border vertex).
+    """
+    ring: List[Sequence[float]] = []
+    for chain in chains:
+        for point in chain:
+            if ring and ring[-1][0] == point[0] and ring[-1][1] == point[1]:
+                continue
+            ring.append(point)
+    if len(ring) > 1 and ring[0][0] == ring[-1][0] and ring[0][1] == ring[-1][1]:
+        ring.pop()
+    return ring

@@ -1,0 +1,145 @@
+"""Axis-aligned rectangles and minimum bounding rectangles (MBRs).
+
+Rectangles appear in three places in the paper: as R-tree node boxes
+(Section II), as the MBR of a query set whose centre seeds BL-E
+(Section III-B), and as the ``εW × εH`` query-generation windows of the
+experimental evaluation (Section VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xmin, xmax] × [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"degenerate rectangle: {self!r}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]]) -> "Rect":
+        """Return the MBR of a non-empty collection of points."""
+        it: Iterator[Sequence[float]] = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot build an MBR of zero points") from None
+        xmin = xmax = first[0]
+        ymin = ymax = first[1]
+        for p in it:
+            if p[0] < xmin:
+                xmin = p[0]
+            elif p[0] > xmax:
+                xmax = p[0]
+            if p[1] < ymin:
+                ymin = p[1]
+            elif p[1] > ymax:
+                ymax = p[1]
+        return cls(xmin, ymin, xmax, ymax)
+
+    @classmethod
+    def from_segment(cls, a: Sequence[float], b: Sequence[float]) -> "Rect":
+        """Return the MBR of segment ``ab``."""
+        return cls(min(a[0], b[0]), min(a[1], b[1]),
+                   max(a[0], b[0]), max(a[1], b[1]))
+
+    @classmethod
+    def from_center(cls, center: Sequence[float], width: float,
+                    height: float) -> "Rect":
+        """Return the rectangle of the given size centred at ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(center[0] - width / 2.0, center[1] - height / 2.0,
+                   center[0] + width / 2.0, center[1] + height / 2.0)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def center(self) -> Point:
+        """Return the centre point (``pc`` of Section III-B)."""
+        return Point((self.xmin + self.xmax) / 2.0,
+                     (self.ymin + self.ymax) / 2.0)
+
+    def contains_point(self, p: Sequence[float]) -> bool:
+        """Return True when ``p`` lies in the closed rectangle."""
+        return (self.xmin <= p[0] <= self.xmax
+                and self.ymin <= p[1] <= self.ymax)
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True when ``other`` lies entirely inside this rectangle."""
+        return (self.xmin <= other.xmin and other.xmax <= self.xmax
+                and self.ymin <= other.ymin and other.ymax <= self.ymax)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True when the closed rectangles share at least a point."""
+        return (self.xmin <= other.xmax and other.xmin <= self.xmax
+                and self.ymin <= other.ymax and other.ymin <= self.ymax)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle covering both rectangles."""
+        return Rect(min(self.xmin, other.xmin), min(self.ymin, other.ymin),
+                    max(self.xmax, other.xmax), max(self.ymax, other.ymax))
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side."""
+        return Rect(self.xmin - margin, self.ymin - margin,
+                    self.xmax + margin, self.ymax + margin)
+
+    def min_dist2_to_point(self, p: Sequence[float]) -> float:
+        """Return the squared distance from ``p`` to the closest point of
+        the rectangle (zero when ``p`` is inside).
+
+        This is the MINDIST bound that drives best-first nearest-neighbour
+        search over the R-tree.
+        """
+        dx = 0.0
+        if p[0] < self.xmin:
+            dx = self.xmin - p[0]
+        elif p[0] > self.xmax:
+            dx = p[0] - self.xmax
+        dy = 0.0
+        if p[1] < self.ymin:
+            dy = self.ymin - p[1]
+        elif p[1] > self.ymax:
+            dy = p[1] - self.ymax
+        return dx * dx + dy * dy
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """Return the MBR of a non-empty collection of rectangles."""
+    it = iter(rects)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("cannot union zero rectangles") from None
+    xmin, ymin, xmax, ymax = acc.xmin, acc.ymin, acc.xmax, acc.ymax
+    for r in it:
+        if r.xmin < xmin:
+            xmin = r.xmin
+        if r.ymin < ymin:
+            ymin = r.ymin
+        if r.xmax > xmax:
+            xmax = r.xmax
+        if r.ymax > ymax:
+            ymax = r.ymax
+    return Rect(xmin, ymin, xmax, ymax)

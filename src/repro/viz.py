@@ -1,0 +1,152 @@
+"""SVG rendering of road networks, DPS results and RoadPart internals.
+
+Dependency-free visual debugging: every drawing is a plain SVG string
+(write it to a file, open it in a browser).  Used by the examples and
+invaluable when staring at a contour walk or a pruned window.
+
+>>> from repro.datasets.synthetic import grid_network
+>>> svg = render_network(grid_network(5, 5, seed=1))
+>>> svg.startswith('<svg') and svg.rstrip().endswith('</svg>')
+True
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dps import DPSResult
+from repro.graph.network import RoadNetwork
+
+#: Default colours (colour-blind-safe-ish).
+EDGE_COLOR = "#b9b9b9"
+BRIDGE_COLOR = "#d95f02"
+DPS_COLOR = "#1b9e77"
+QUERY_COLOR = "#7570b3"
+CONTOUR_COLOR = "#e7298a"
+CUT_COLOR = "#66a61e"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements over a fitted viewBox."""
+
+    def __init__(self, points: Sequence[Sequence[float]],
+                 width: int = 800, margin: float = 0.04) -> None:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if not xs:
+            raise ValueError("cannot fit a canvas to zero points")
+        span_x = max(xs) - min(xs) or 1.0
+        span_y = max(ys) - min(ys) or 1.0
+        pad_x = span_x * margin
+        pad_y = span_y * margin
+        self._min_x = min(xs) - pad_x
+        self._max_y = max(ys) + pad_y
+        self._scale = (width - 2) / (span_x + 2 * pad_x)
+        self.width = width
+        self.height = max(int((span_y + 2 * pad_y) * self._scale), 1)
+        self._elements: List[str] = []
+
+    def project(self, p: Sequence[float]) -> Tuple[float, float]:
+        """Map a network coordinate to SVG pixels (y flipped: SVG grows
+        downward, maps grow upward)."""
+        return ((p[0] - self._min_x) * self._scale,
+                (self._max_y - p[1]) * self._scale)
+
+    def line(self, a, b, color: str, width: float = 1.0,
+             opacity: float = 1.0) -> None:
+        (x1, y1), (x2, y2) = self.project(a), self.project(b)
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}"'
+            f' y2="{y2:.1f}" stroke="{color}" stroke-width="{width}"'
+            f' stroke-opacity="{opacity}"/>')
+
+    def circle(self, p, color: str, radius: float = 2.0) -> None:
+        x, y = self.project(p)
+        self._elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}"'
+            f' fill="{color}"/>')
+
+    def polyline(self, points, color: str, width: float = 2.0) -> None:
+        coords = " ".join(f"{x:.1f},{y:.1f}"
+                          for x, y in map(self.project, points))
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}"'
+            f' stroke-width="{width}"/>')
+
+    def text(self, p, label: str, size: int = 12,
+             color: str = "#333") -> None:
+        x, y = self.project(p)
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}"'
+            f' fill="{color}">{html.escape(label)}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg"'
+                f' width="{self.width}" height="{self.height}"'
+                f' viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" fill="white"/>\n'
+                f"{body}\n</svg>")
+
+
+def _draw_edges(canvas: SvgCanvas, network: RoadNetwork,
+                bridges: Iterable[Tuple[int, int]] = ()) -> None:
+    bridge_set = {((u, v) if u < v else (v, u)) for u, v in bridges}
+    coords = network.coords
+    for edge in network.edges():
+        if edge.key in bridge_set:
+            canvas.line(coords[edge.u], coords[edge.v], BRIDGE_COLOR,
+                        width=1.6)
+        else:
+            canvas.line(coords[edge.u], coords[edge.v], EDGE_COLOR)
+
+
+def render_network(network: RoadNetwork,
+                   bridges: Iterable[Tuple[int, int]] = (),
+                   width: int = 800) -> str:
+    """Render a road network; bridge edges highlighted when given."""
+    canvas = SvgCanvas(network.coords, width=width)
+    _draw_edges(canvas, network, bridges)
+    return canvas.render()
+
+
+def render_dps(network: RoadNetwork, result: DPSResult,
+               bridges: Iterable[Tuple[int, int]] = (),
+               width: int = 800) -> str:
+    """Render a DPS over its network: DPS edges bold, query points
+    marked (the picture worth a thousand V-ratios)."""
+    canvas = SvgCanvas(network.coords, width=width)
+    _draw_edges(canvas, network, bridges)
+    coords = network.coords
+    kept = set(result.vertices)
+    for edge in network.edges():
+        if edge.u in kept and edge.v in kept:
+            canvas.line(coords[edge.u], coords[edge.v], DPS_COLOR,
+                        width=2.2)
+    for q in sorted(result.query.combined):
+        canvas.circle(coords[q], QUERY_COLOR, radius=3.0)
+    canvas.text((canvas._min_x, canvas._max_y),
+                f"{result.algorithm}: |V'|={result.size}")
+    return canvas.render()
+
+
+def render_partition(index, width: int = 800,
+                     palette: Optional[List[str]] = None) -> str:
+    """Render a RoadPart index: vertices coloured by region, the contour
+    and border vertices overlaid."""
+    network = index.network
+    canvas = SvgCanvas(network.coords, width=width)
+    _draw_edges(canvas, network, index.bridges)
+    palette = palette or ["#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3",
+                          "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3"]
+    coords = network.coords
+    for v in network.vertices():
+        color = palette[index.regions.region_of[v] % len(palette)]
+        canvas.circle(coords[v], color, radius=1.6)
+    if index.contour is not None:
+        ring = list(index.contour.points) + [index.contour.points[0]]
+        canvas.polyline(ring, CONTOUR_COLOR, width=1.2)
+    for b in index.border_vertex_ids:
+        canvas.circle(coords[b], CUT_COLOR, radius=4.0)
+    return canvas.render()

@@ -1,0 +1,85 @@
+"""Unit tests for aggregate nearest neighbour queries."""
+
+import pytest
+
+from repro.apps.aggregate_nn import aggregate_nearest_neighbor
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.verify import pairwise_distances
+
+
+class TestSmallCases:
+    def test_sum_aggregate(self, grid5):
+        # Users at the left corners, POIs on the right edge.
+        result = aggregate_nearest_neighbor(grid5, [0, 20], [4, 14, 24])
+        # Costs: 4 -> 4+12=16? dist(20,4)= |4-0|+|0-4| = 8 -> 4+8=12;
+        # 14=(4,2): 6+6=12; 24: 8+4=12.  Flat again; take the minimum.
+        assert result.cost == pytest.approx(12.0)
+
+    def test_max_aggregate(self, grid5):
+        result = aggregate_nearest_neighbor(grid5, [0, 20], [4, 14, 24],
+                                            aggregate="max")
+        # 4: max(4, 8)=8; 14: max(6,6)=6; 24: max(8,4)=8.
+        assert result.poi == 14
+        assert result.cost == pytest.approx(6.0)
+
+    def test_min_aggregate(self, grid5):
+        result = aggregate_nearest_neighbor(grid5, [0, 20], [4, 14, 24],
+                                            aggregate="min")
+        # 4: min(4,8)=4; 14: 6; 24: 4.  Tie (4, 24) -> smaller id wins.
+        assert result.poi == 4
+        assert result.cost == pytest.approx(4.0)
+
+    def test_all_costs_reported(self, grid5):
+        result = aggregate_nearest_neighbor(grid5, [0], [4, 24])
+        assert set(result.all_costs) == {4, 24}
+        assert result.all_costs[4] == pytest.approx(4.0)
+        assert result.all_costs[24] == pytest.approx(8.0)
+
+    def test_matches_brute_force(self, medium_network, medium_query):
+        users = sorted(medium_query.sources)[:4]
+        pois = sorted(medium_query.sources)[-5:]
+        result = aggregate_nearest_neighbor(medium_network, users, pois)
+        table = pairwise_distances(medium_network, users, pois)
+        brute = min((sum(table[(u, p)] for u in users), p) for p in pois)
+        assert result.cost == pytest.approx(brute[0])
+        assert result.poi == brute[1]
+
+
+class TestValidation:
+    def test_aggregate_validation(self, grid5):
+        with pytest.raises(ValueError):
+            aggregate_nearest_neighbor(grid5, [0], [4], aggregate="avg")
+
+    def test_empty_inputs(self, grid5):
+        with pytest.raises(ValueError):
+            aggregate_nearest_neighbor(grid5, [], [4])
+        with pytest.raises(ValueError):
+            aggregate_nearest_neighbor(grid5, [0], [])
+
+    def test_unreachable_pois(self, grid5):
+        with pytest.raises(ValueError):
+            aggregate_nearest_neighbor(grid5, [0], [24],
+                                       allowed={0, 1, 24})
+
+
+class TestOnDPS:
+    def test_exact_on_st_dps(self, medium_network, medium_query):
+        """The headline exactness contract: an (users, POIs)-DPS answers
+        the unrestricted aggregate-NN query exactly."""
+        users = sorted(medium_query.sources)[:4]
+        pois = sorted(medium_query.sources)[-6:]
+        dps = bl_quality(medium_network, DPSQuery.st_query(users, pois))
+        unrestricted = aggregate_nearest_neighbor(medium_network, users,
+                                                  pois)
+        on_dps = aggregate_nearest_neighbor(medium_network, users, pois,
+                                            allowed=set(dps.vertices))
+        assert on_dps.cost == pytest.approx(unrestricted.cost)
+        assert on_dps.poi == unrestricted.poi
+        for agg in ("max", "min"):
+            a = aggregate_nearest_neighbor(medium_network, users, pois,
+                                           aggregate=agg)
+            b = aggregate_nearest_neighbor(medium_network, users, pois,
+                                           aggregate=agg,
+                                           allowed=set(dps.vertices))
+            assert b.cost == pytest.approx(a.cost)

@@ -1,0 +1,92 @@
+"""Unit tests for optimal meeting point queries."""
+
+import pytest
+
+from repro.apps.meeting_point import optimal_meeting_point
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.shortestpath.dijkstra import sssp
+
+
+class TestSmallCases:
+    def test_two_users_meet_on_their_path(self, grid5):
+        result = optimal_meeting_point(grid5, [0, 4], objective="sum")
+        # Any vertex on sp(0, 4) has total cost 4; off-path is worse.
+        assert result.cost == pytest.approx(4.0)
+        assert result.user_distances[0] + result.user_distances[4] == \
+            pytest.approx(4.0)
+
+    def test_four_corners_sum(self, grid5):
+        result = optimal_meeting_point(grid5, [0, 4, 20, 24])
+        # By symmetry every vertex has total cost 16 on a 5x5 grid?  No:
+        # the centre (12) costs 4x4=16; a corner costs 0+4+4+8=16 too --
+        # Manhattan medians are flat here, so just check the optimum.
+        assert result.cost == pytest.approx(16.0)
+
+    def test_max_objective_prefers_center(self, grid5):
+        result = optimal_meeting_point(grid5, [0, 4, 20, 24],
+                                       objective="max")
+        assert result.vertex == 12
+        assert result.cost == pytest.approx(4.0)
+
+    def test_single_user_meets_at_home(self, grid5):
+        result = optimal_meeting_point(grid5, [7])
+        assert result.vertex == 7
+        assert result.cost == 0.0
+
+    def test_candidates_restriction(self, grid5):
+        result = optimal_meeting_point(grid5, [0, 4], candidates=[20, 24])
+        # 20 costs 4+8=12, 24 costs 8+4=12; tie broken by vertex id.
+        assert result.vertex == 20
+        assert result.cost == pytest.approx(12.0)
+
+    def test_matches_brute_force(self, medium_network, medium_query):
+        users = sorted(medium_query.sources)[:4]
+        result = optimal_meeting_point(medium_network, users)
+        trees = [sssp(medium_network, u) for u in users]
+        brute = min(
+            (sum(t.dist[v] for t in trees), v)
+            for v in medium_network.vertices())
+        assert result.cost == pytest.approx(brute[0])
+
+
+class TestValidation:
+    def test_objective_validation(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_meeting_point(grid5, [0, 4], objective="median")
+
+    def test_empty_users(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_meeting_point(grid5, [])
+
+    def test_empty_candidates(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_meeting_point(grid5, [0], candidates=[])
+
+    def test_infeasible_within_allowed(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_meeting_point(grid5, [0, 4], candidates=[24],
+                                  allowed={0, 1, 2, 3, 4, 24})
+
+
+class TestOnDPS:
+    def test_exact_inside_a_q_dps(self, medium_network, medium_query):
+        """Meeting points restricted to the DPS: the DPS preserves every
+        user-to-vertex distance for vertices inside it, so restricted
+        answers match the restricted brute force on the full network."""
+        users = sorted(medium_query.sources)[:4]
+        dps = bl_quality(medium_network, DPSQuery.q_query(users))
+        allowed = set(dps.vertices)
+        restricted = optimal_meeting_point(medium_network, users,
+                                           allowed=allowed)
+        trees = [sssp(medium_network, u) for u in users]
+        brute = min((sum(t.dist[v] for t in trees), v) for v in allowed)
+        assert restricted.cost == pytest.approx(brute[0])
+
+    def test_dps_run_touches_fewer_vertices(self, medium_network,
+                                            medium_query):
+        users = sorted(medium_query.sources)[:3]
+        dps = bl_quality(medium_network, DPSQuery.q_query(users))
+        result = optimal_meeting_point(medium_network, users,
+                                       allowed=set(dps.vertices))
+        assert result.vertex in dps.vertices

@@ -1,0 +1,79 @@
+"""Unit tests for optimal location queries."""
+
+import pytest
+
+from repro.apps.optimal_location import optimal_location
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.verify import pairwise_distances
+
+
+class TestSmallCases:
+    def test_min_max_picks_central_site(self, grid5):
+        # Clients at all four corners; candidate sites on the middle row.
+        result = optimal_location(grid5, [0, 4, 20, 24], [10, 12, 14])
+        assert result.site == 12  # the centre: worst client at 4
+        assert result.cost == pytest.approx(4.0)
+
+    def test_min_sum(self, grid5):
+        result = optimal_location(grid5, [0, 4], [2, 20],
+                                  criterion="min-sum")
+        # site 2: 2+2=4; site 20: 4+8=12.
+        assert result.site == 2
+        assert result.cost == pytest.approx(4.0)
+
+    def test_weighted_min_sum(self, grid5):
+        # Heavy demand at client 4 pulls the facility right.
+        result = optimal_location(grid5, [0, 4], [1, 3],
+                                  criterion="min-sum",
+                                  weights={4: 10.0})
+        # site 1: 1 + 10*3 = 31; site 3: 3 + 10*1 = 13.
+        assert result.site == 3
+        assert result.cost == pytest.approx(13.0)
+
+    def test_matches_brute_force(self, medium_network, medium_query):
+        clients = sorted(medium_query.sources)[:5]
+        sites = sorted(medium_query.sources)[-4:]
+        result = optimal_location(medium_network, clients, sites)
+        table = pairwise_distances(medium_network, clients, sites)
+        brute = min((max(table[(c, p)] for c in clients), p)
+                    for p in sites)
+        assert result.cost == pytest.approx(brute[0])
+        assert result.site == brute[1]
+
+
+class TestValidation:
+    def test_criterion_validation(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_location(grid5, [0], [4], criterion="max-min")
+
+    def test_weights_rejected_for_minmax(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_location(grid5, [0], [4], weights={0: 2.0})
+
+    def test_empty_inputs(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_location(grid5, [], [4])
+        with pytest.raises(ValueError):
+            optimal_location(grid5, [0], [])
+
+    def test_unreachable_sites(self, grid5):
+        with pytest.raises(ValueError):
+            optimal_location(grid5, [0], [24], allowed={0, 24})
+
+
+class TestOnDPS:
+    def test_exact_on_clients_sites_dps(self, medium_network,
+                                        medium_query):
+        clients = sorted(medium_query.sources)[:5]
+        sites = sorted(medium_query.sources)[-5:]
+        dps = bl_quality(medium_network,
+                         DPSQuery.st_query(clients, sites))
+        for criterion in ("min-max", "min-sum"):
+            unrestricted = optimal_location(medium_network, clients,
+                                            sites, criterion=criterion)
+            on_dps = optimal_location(medium_network, clients, sites,
+                                      criterion=criterion,
+                                      allowed=set(dps.vertices))
+            assert on_dps.cost == pytest.approx(unrestricted.cost)
+            assert on_dps.site == unrestricted.site

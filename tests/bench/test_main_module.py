@@ -1,0 +1,18 @@
+"""Tests for the ``python -m repro.bench`` report regenerator (argument
+handling only; the experiments themselves are covered elsewhere)."""
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestArguments:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["warp-drive"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {"table1", "fig10", "table2", "fig11",
+                                    "sec7c", "ablations"}
+
+    def test_registry_callables(self):
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)

@@ -1,0 +1,53 @@
+"""Unit tests for the benchmark measures."""
+
+import pytest
+
+from repro.bench.metrics import AlgorithmMeasure, v_ratio
+from repro.bench.timing import Timer, timed
+from repro.core.dps import DPSQuery, DPSResult
+
+
+def _result(size, algorithm="A", seconds=0.5, stats=None):
+    q = DPSQuery.q_query([0])
+    return DPSResult(algorithm, q, frozenset(range(size)),
+                     seconds=seconds, stats=stats or {})
+
+
+class TestVRatio:
+    def test_basic(self):
+        assert v_ratio(_result(20), _result(10)) == 2.0
+
+    def test_equal_is_one(self):
+        assert v_ratio(_result(10), _result(10)) == 1.0
+
+
+class TestAlgorithmMeasure:
+    def test_from_result(self):
+        m = AlgorithmMeasure.from_result(_result(5, stats={"b": 3.0}))
+        assert m.dps_size == 5
+        assert m.seconds == 0.5
+        assert m.extras == {"b": 3.0}
+
+    def test_explicit_seconds_override(self):
+        m = AlgorithmMeasure.from_result(_result(5), seconds=9.0)
+        assert m.seconds == 9.0
+
+    def test_cell_formatting(self):
+        m = AlgorithmMeasure("A", 0.1, 5,
+                             extras={"b": 3.0, "r": 0.12345})
+        assert m.cell("b") == "3"
+        assert m.cell("r") == "0.123"
+        assert m.cell("missing") == "-"
+        assert m.cell("missing", default="?") == "?"
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.seconds > 0
+
+    def test_timed_returns_result(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0

@@ -1,0 +1,40 @@
+"""Unit tests for the table/series renderers."""
+
+from repro.bench.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table("My Title", ["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = text.splitlines()
+        assert "My Title" in lines[1]
+        assert lines[3].split() == ["a", "bb"]
+        assert lines[5].split() == ["1", "2.5"]
+        assert lines[6].split() == ["30", "x"]
+
+    def test_columns_aligned(self):
+        text = render_table("t", ["col"], [[1], [1000000]])
+        rows = text.splitlines()
+        assert len(rows[3]) == len(rows[5]) == len(rows[6])
+
+    def test_number_formatting(self):
+        text = render_table("t", ["v"], [[1234567], [0.000123], [12.345],
+                                         [0.0]])
+        assert "1,234,567" in text
+        assert "0.000123" in text
+        assert "12.3" in text
+
+    def test_empty_rows(self):
+        text = render_table("empty", ["h1", "h2"], [])
+        assert "empty" in text
+        assert "h1" in text
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        text = render_series("fig", "x", {"s1": [1, 2], "s2": [3, 4]},
+                             ["a", "b"])
+        lines = text.splitlines()
+        assert lines[3].split() == ["x", "s1", "s2"]
+        assert lines[5].split() == ["a", "1", "3"]
+        assert lines[6].split() == ["b", "2", "4"]

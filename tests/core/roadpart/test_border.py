@@ -1,0 +1,96 @@
+"""Unit tests for border vertex selection."""
+
+import pytest
+
+from repro.core.roadpart.border import (
+    select_borders,
+    select_borders_equifrequency,
+    select_borders_equilength,
+)
+from repro.core.roadpart.contour import Contour, walk_contour
+
+
+def _square_contour(side=8):
+    """A square contour with `side` unit-spaced vertices per side."""
+    pts = []
+    for i in range(side):
+        pts.append((float(i), 0.0))
+    for i in range(side):
+        pts.append((float(side), float(i)))
+    for i in range(side):
+        pts.append((float(side - i), float(side)))
+    for i in range(side):
+        pts.append((0.0, float(side - i)))
+    return Contour(list(range(len(pts))), pts)
+
+
+class TestEquiLength:
+    def test_count_honoured(self):
+        contour = _square_contour()
+        positions = select_borders_equilength(contour, 8)
+        assert len(positions) == 8
+        assert positions[0] == 0
+
+    def test_even_spacing_on_uniform_contour(self):
+        contour = _square_contour(8)  # 32 unit segments
+        positions = select_borders_equilength(contour, 4)
+        # L = 32, stride 8: positions 0, 8, 16, 24 (the four corners).
+        assert positions == [0, 8, 16, 24]
+
+    def test_distinct_vertices(self, medium_network):
+        contour = walk_contour(medium_network)
+        positions = select_borders_equilength(contour, 10)
+        ids = [contour.vertex_ids[p] for p in positions]
+        assert len(set(ids)) == len(ids)
+
+    def test_non_uniform_spacing_skips_marks(self):
+        # A contour with one very long edge: the selection must not pile
+        # multiple borders onto the vertex after the jump.
+        pts = [(0, 0), (1, 0), (2, 0), (30, 0), (30, 1), (0, 1)]
+        contour = Contour(list(range(6)), pts)
+        positions = select_borders_equilength(contour, 5)
+        assert len(positions) == len(set(positions))
+
+    def test_tiny_contour_returns_all(self):
+        contour = Contour([0, 1, 2], [(0, 0), (1, 0), (0, 1)])
+        positions = select_borders_equilength(contour, 10)
+        assert positions == [0, 1, 2]
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            select_borders_equilength(_square_contour(), 1)
+
+
+class TestEquiFrequency:
+    def test_even_positions(self):
+        contour = _square_contour(8)  # 32 vertices
+        positions = select_borders_equifrequency(contour, 8)
+        assert positions == [0, 4, 8, 12, 16, 20, 24, 28]
+
+    def test_differs_from_equilength_on_skewed_contour(self):
+        # Dense vertices on one side, sparse on the other: the two rules
+        # must pick different borders.
+        pts = ([(i * 0.1, 0.0) for i in range(20)]
+               + [(2.0, 1.0), (1.0, 2.0), (0.0, 1.0)])
+        contour = Contour(list(range(len(pts))), pts)
+        by_len = select_borders_equilength(contour, 4)
+        by_freq = select_borders_equifrequency(contour, 4)
+        assert by_len != by_freq
+
+
+class TestDispatch:
+    def test_methods(self, grid5):
+        contour = walk_contour(grid5)
+        a = select_borders(contour, 4, "equi-length")
+        b = select_borders(contour, 4, "equi-frequency")
+        assert len(a) == len(b) == 4
+
+    def test_unknown_method(self, grid5):
+        contour = walk_contour(grid5)
+        with pytest.raises(ValueError):
+            select_borders(contour, 4, "random")
+
+    def test_degenerate_contour_rejected(self):
+        contour = Contour([5], [(0, 0)])
+        with pytest.raises(ValueError):
+            select_borders(contour, 4)

@@ -1,0 +1,108 @@
+"""Unit tests for bridge finding, classification and pruning."""
+
+import pytest
+
+from repro.core.roadpart.bridges import (
+    classify_bridge,
+    find_bridges,
+    theorem7_survivors,
+)
+from repro.datasets.synthetic import add_bridges, grid_network
+
+
+class TestFindBridges:
+    def test_planar_grid_has_none(self, grid5):
+        assert find_bridges(grid5) == frozenset()
+
+    def test_single_flyover_marks_crossing_pair(self, bridge_network):
+        bridges = find_bridges(bridge_network)
+        assert (6, 13) in bridges
+        # The flyover from (1,1) to (3,2) crosses a grid edge;
+        # each crossing partner is marked too.
+        assert len(bridges) >= 2
+        for u, v in bridges - {(6, 13)}:
+            assert bridge_network.has_edge(u, v)
+
+    def test_injected_bridges_all_found(self):
+        base = grid_network(18, 18, seed=51)
+        net, injected = add_bridges(base, 9, (2.0, 5.0), seed=52)
+        bridges = find_bridges(net)
+        for key in injected:
+            assert key in bridges
+
+    def test_touching_edges_not_bridges(self, grid5):
+        # Grid edges meet only at shared vertices: never "proper" crossings.
+        assert not find_bridges(grid5)
+
+
+class TestClassify:
+    WINDOW = [(3, 4), (2, 3)]
+
+    def test_interior(self):
+        cls = classify_bridge(((3, 3), (2, 2)), ((4, 4), (3, 3)),
+                              self.WINDOW)
+        assert cls.kind == "interior"
+
+    def test_exterior(self):
+        cls = classify_bridge(((6, 6), (5, 5)), ((5, 5), (6, 6)),
+                              self.WINDOW)
+        assert cls.kind == "exterior"
+        assert cls.outside_dims == (0, 1)
+
+    def test_cut_case1_opposite_sides(self):
+        cls = classify_bridge(((1, 1), (2, 2)), ((6, 6), (2, 2)),
+                              self.WINDOW)
+        assert cls.kind == "cut"
+        assert 0 in cls.cut_dims
+
+    def test_cut_case2_inside_to_outside(self):
+        cls = classify_bridge(((3, 3), (2, 2)), ((6, 6), (2, 2)),
+                              self.WINDOW)
+        assert cls.kind == "cut"
+        assert cls.cut_dims == (0,)
+
+    def test_mixed_cut_and_outside_dims(self):
+        # Dim 0: cut (inside/outside); dim 1: both strictly above.
+        cls = classify_bridge(((3, 3), (5, 5)), ((6, 6), (5, 5)),
+                              self.WINDOW)
+        assert cls.kind == "cut"
+        assert cls.cut_dims == (0,)
+        assert cls.outside_dims == (1,)
+
+
+class TestTheorem7:
+    def _cls(self, cut_dims, outside_dims):
+        from repro.core.roadpart.bridges import BridgeClassification
+        return BridgeClassification("cut", cut_dims=tuple(cut_dims),
+                                    outside_dims=tuple(outside_dims))
+
+    def test_prunes_bridge_behind_earlier_boundary(self):
+        # Bridge crosses dim 1's boundary but sits wholly outside dim 0's:
+        # with dimension order, dim 0 comes first → pruned.
+        bridges = {(0, 1): self._cls([1], [0])}
+        assert theorem7_survivors(bridges, 2, order="dimension") == []
+
+    def test_keeps_bridge_crossing_first_boundary(self):
+        bridges = {(0, 1): self._cls([0], [1])}
+        assert theorem7_survivors(bridges, 2, order="dimension") == [(0, 1)]
+
+    def test_load_order_can_change_outcome(self):
+        # Two bridges cross dim 0; one bridge crosses dim 1 and is outside
+        # dim 0.  Load order puts dim 1 (1 crossing) before dim 0 (2), so
+        # the dim-1 bridge is examined first-hand and survives.
+        bridges = {
+            (0, 1): self._cls([0], []),
+            (2, 3): self._cls([0], []),
+            (4, 5): self._cls([1], [0]),
+        }
+        assert (4, 5) not in theorem7_survivors(bridges, 2, "dimension")
+        assert (4, 5) in theorem7_survivors(bridges, 2, "load")
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            theorem7_survivors({}, 2, order="chaos")
+
+    def test_deterministic_output_order(self):
+        bridges = {(3, 9): self._cls([0], []),
+                   (1, 2): self._cls([0], [])}
+        assert theorem7_survivors(bridges, 1) == [(1, 2), (3, 9)]

@@ -1,0 +1,176 @@
+"""Unit tests for contour computation."""
+
+import pytest
+
+from repro.core.roadpart.contour import (
+    Contour,
+    ContourError,
+    compute_contour,
+    hull_contour,
+    walk_contour,
+)
+from repro.datasets.synthetic import add_bridges, grid_network
+from repro.graph.network import RoadNetwork
+from repro.spatial.hull import point_in_convex_polygon
+from repro.spatial.polygon import point_in_polygon
+
+
+class TestContourType:
+    def test_circumference_of_square(self, square_network):
+        contour = walk_contour(square_network)
+        assert contour.circumference() == pytest.approx(4.0)
+
+    def test_chain_wraps(self):
+        contour = Contour([10, 11, 12, 13],
+                          [(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert contour.chain(2, 0) == [12, 13, 10]
+        assert contour.chain(1, 1) == [11]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Contour([], [])
+
+
+class TestWalk:
+    def test_square_walk_is_ccw_boundary(self, square_network):
+        contour = walk_contour(square_network)
+        assert contour.vertex_ids == [0, 1, 2, 3]
+
+    def test_grid_boundary_only(self, grid5):
+        contour = walk_contour(grid5)
+        boundary = {v for v in grid5.vertices()
+                    if v % 5 in (0, 4) or v // 5 in (0, 4)}
+        assert set(contour.vertex_ids) == boundary
+        assert len(contour) == 16
+
+    def test_dangling_spur_visited_twice(self):
+        # Square with a spur hanging off one corner: ⟨..., b, c, b, ...⟩.
+        coords = [(0, 0), (2, 0), (2, 2), (0, 2), (3, 0)]
+        edges = [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0), (3, 0, 2.0),
+                 (1, 4, 1.0)]
+        net = RoadNetwork(coords, edges)
+        contour = walk_contour(net)
+        assert contour.vertex_ids.count(1) == 2  # enters and leaves spur
+        assert 4 in contour.vertex_ids
+
+    def test_path_graph_walks_both_sides(self, path_network):
+        contour = walk_contour(path_network)
+        # Out to the end and back: every interior vertex appears twice.
+        assert contour.vertex_ids == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_contains_all_vertices(self, medium_network):
+        contour = walk_contour(medium_network)
+        polygon = contour.points
+        for v in range(0, medium_network.num_vertices, 7):
+            assert point_in_polygon(medium_network.coord(v), polygon), v
+
+    def test_two_vertex_network(self):
+        net = RoadNetwork([(0, 0), (1, 1)], [(0, 1, 2.0)])
+        contour = walk_contour(net)
+        assert contour.vertex_ids == [0, 1]
+
+    def test_crossing_handling_on_bridged_network(self):
+        base = grid_network(15, 15, seed=31)
+        net, _ = add_bridges(base, 8, (2.0, 5.0), seed=32)
+        contour = walk_contour(net, handle_crossings=True)
+        for v in range(0, net.num_vertices, 5):
+            assert point_in_polygon(net.coord(v), contour.points), v
+
+
+class TestHullContour:
+    def test_contains_everything(self, medium_network):
+        contour = hull_contour(medium_network)
+        for v in medium_network.vertices():
+            assert point_in_convex_polygon(medium_network.coord(v),
+                                           contour.points)
+
+    def test_corners_are_graph_vertices(self, grid5):
+        contour = hull_contour(grid5)
+        assert set(contour.vertex_ids) <= set(grid5.vertices())
+
+    def test_looser_than_walk(self):
+        # A plus-shaped network: the walked contour follows the arms; the
+        # hull spans the bounding square, strictly larger in area.
+        net = grid_network(12, 12, seed=3, drop_rate=0.3)
+        walked = walk_contour(net)
+        hull = hull_contour(net)
+        assert len(hull) <= len(walked)
+
+
+class TestComputeContour:
+    def test_walk_strategy(self, medium_network):
+        contour, used = compute_contour(medium_network, "walk")
+        assert used in ("walk", "hull-fallback")
+        assert len(contour) >= 3
+
+    def test_hull_strategy(self, medium_network):
+        _, used = compute_contour(medium_network, "hull")
+        assert used == "hull"
+
+    def test_walk_planar_strategy(self, grid5):
+        contour, used = compute_contour(grid5, "walk-planar")
+        assert used == "walk-planar"
+        assert len(contour) == 16
+
+    def test_unknown_strategy(self, grid5):
+        with pytest.raises(ValueError):
+            compute_contour(grid5, "teleport")
+
+
+class TestNonPlanarWalk:
+    """A hand-built network where a flyover crosses a *boundary* edge --
+    the exact Fig. 3(b) situation.  The walk must cut over to the
+    crossing edge at the intersection point and pick up the vertex
+    hanging below the old boundary."""
+
+    def _network(self):
+        # Rectangle A-C-D-E with interior F and a vertex G *below* the
+        # bottom edge; the flyover F-G crosses boundary edge A-C at
+        # (2, 0).
+        coords = [(0.0, 0.0),   # 0 = A
+                  (4.0, 0.0),   # 1 = C
+                  (4.0, 3.0),   # 2 = D
+                  (0.0, 3.0),   # 3 = E
+                  (1.0, 1.0),   # 4 = F (interior)
+                  (3.0, -1.0)]  # 5 = G (below the boundary)
+        edges = [(0, 1, 4.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 3.0),
+                 (0, 4, 1.5), (2, 4, 3.7),
+                 (4, 5, 2.9),  # the flyover, crosses edge (0, 1)
+                 (1, 5, 1.5)]
+        return RoadNetwork(coords, edges)
+
+    def test_flyover_is_a_bridge(self):
+        from repro.core.roadpart.bridges import find_bridges
+        bridges = find_bridges(self._network())
+        assert (0, 1) in bridges and (4, 5) in bridges
+
+    def test_walk_cuts_over_at_the_intersection(self):
+        net = self._network()
+        contour = walk_contour(net, handle_crossings=True)
+        # The walk must leave the A->C edge at (2, 0), follow the
+        # flyover down to G, and come back via C.
+        assert 5 in contour.vertex_ids, contour.vertex_ids
+        for v in net.vertices():
+            assert point_in_polygon(net.coord(v), contour.points), v
+
+    def test_cutover_reaches_g_before_c(self):
+        # The crossing-handled walk leaves A->C at the intersection
+        # (2, 0) and rides the flyover down: G appears *before* C in the
+        # contour order.  (The planar walk instead reaches G only after
+        # C, via the C-G edge.)
+        net = self._network()
+        crossing = walk_contour(net, handle_crossings=True).vertex_ids
+        planar = walk_contour(net, handle_crossings=False).vertex_ids
+        assert crossing.index(5) < crossing.index(1)
+        assert planar.index(1) < planar.index(5)
+
+    def test_index_on_nonplanar_boundary_still_correct(self):
+        from repro.core.dps import DPSQuery
+        from repro.core.roadpart.index import build_index
+        from repro.core.roadpart.query import roadpart_dps
+        from repro.core.verify import verify_dps
+        net = self._network()
+        index = build_index(net, border_count=3)
+        query = DPSQuery.q_query([0, 2, 5])
+        result = roadpart_dps(index, query)
+        assert verify_dps(net, result, query).ok

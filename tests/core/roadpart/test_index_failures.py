@@ -1,0 +1,68 @@
+"""Failure-injection tests for index serialisation: a corrupted or
+mismatched index file must fail loudly at load time, never produce a
+silently-wrong query processor."""
+
+import json
+
+import pytest
+
+from repro.core.roadpart.index import RoadPartIndex
+
+
+@pytest.fixture()
+def index_payload(medium_index, tmp_path):
+    path = tmp_path / "index.json"
+    medium_index.save(path)
+    return json.loads(path.read_text()), tmp_path
+
+
+def _write_and_load(payload, tmp_path, network):
+    path = tmp_path / "mutated.json"
+    path.write_text(json.dumps(payload))
+    return RoadPartIndex.load(path, network)
+
+
+class TestCorruptedIndexFiles:
+    def test_missing_format_field(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        del payload["format"]
+        with pytest.raises(ValueError):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_wrong_format_value(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        payload["format"] = "roadpart-index-v999"
+        with pytest.raises(ValueError):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_vertex_count_mismatch(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        payload["num_vertices"] += 1
+        with pytest.raises(ValueError):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_missing_required_key(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        del payload["region_vectors"]
+        with pytest.raises(KeyError):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_not_json(self, tmp_path, medium_network):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json{{{")
+        with pytest.raises(json.JSONDecodeError):
+            RoadPartIndex.load(path, medium_network)
+
+    def test_missing_file(self, tmp_path, medium_network):
+        with pytest.raises(OSError):
+            RoadPartIndex.load(tmp_path / "nope.json", medium_network)
+
+
+class TestRoundTripStability:
+    def test_double_round_trip_identical(self, medium_index,
+                                         medium_network, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        medium_index.save(p1)
+        once = RoadPartIndex.load(p1, medium_network)
+        once.save(p2)
+        assert p1.read_text() == p2.read_text()

@@ -1,0 +1,121 @@
+"""Unit tests for the three-step zone labelling."""
+
+import pytest
+
+from repro.core.roadpart.border import select_borders
+from repro.core.roadpart.contour import walk_contour
+from repro.core.roadpart.labeling import CutCache, label_round
+from repro.datasets.synthetic import add_bridges, grid_network
+from repro.shortestpath.dijkstra import sssp
+from repro.shortestpath.paths import path_length
+
+
+def _run_round(network, border_count, round_index=0, bridges=frozenset()):
+    contour = walk_contour(network)
+    positions = select_borders(contour, border_count)
+    cache = CutCache(network)
+    labels, stats = label_round(network, contour, positions, round_index,
+                                set(bridges), cache)
+    return labels, stats, contour, positions
+
+
+class TestLabelStructure:
+    def test_every_vertex_labelled(self, medium_network):
+        labels, _, _, _ = _run_round(medium_network, 6)
+        assert len(labels) == medium_network.num_vertices
+        for l, h in labels:
+            assert 1 <= l <= h <= 6
+
+    def test_border_vertex_spans_all_zones(self, medium_network):
+        labels, _, contour, positions = _run_round(medium_network, 6)
+        b = contour.vertex_ids[positions[0]]
+        assert labels[b] == (1, 6)
+
+    def test_round_rotation_changes_labels(self, medium_network):
+        labels0, _, _, _ = _run_round(medium_network, 6, round_index=0)
+        labels1, _, _, _ = _run_round(medium_network, 6, round_index=1)
+        assert labels0 != labels1
+
+    def test_zone_count_matches_borders(self, grid5):
+        labels, _, _, positions = _run_round(grid5, 4)
+        zones = {z for l, h in labels for z in (l, h)}
+        assert max(zones) <= len(positions)
+
+
+class TestCutSemantics:
+    def test_cut_vertices_get_adjacent_zone_pair(self, medium_network):
+        contour = walk_contour(medium_network)
+        positions = select_borders(contour, 6)
+        cache = CutCache(medium_network)
+        labels, _ = label_round(medium_network, contour, positions, 0,
+                                set(), cache)
+        b = contour.vertex_ids[positions[0]]
+        for j in range(1, len(positions)):
+            cj = contour.vertex_ids[positions[j]]
+            path = cache.path(b, cj)
+            for v in path:
+                l, h = labels[v]
+                # Cut j borders zones j and j+1: both inside the interval.
+                assert l <= j and j + 1 <= h
+
+    def test_cuts_are_shortest_paths(self, medium_network):
+        cache = CutCache(medium_network)
+        path = cache.path(0, medium_network.num_vertices - 1)
+        want = sssp(medium_network, 0,
+                    targets=[medium_network.num_vertices - 1])
+        assert path_length(medium_network, path) == pytest.approx(
+            want.dist[medium_network.num_vertices - 1])
+
+    def test_cut_cache_reverses(self, medium_network):
+        cache = CutCache(medium_network)
+        forward = cache.path(3, 400)
+        backward = cache.path(400, 3)
+        assert backward == forward[::-1]
+        # Second direction must not have cost another A* run.
+        expanded_after_two = cache.astar_expanded
+        cache.path(3, 400)
+        assert cache.astar_expanded == expanded_after_two
+
+
+class TestZonePartition:
+    def test_interior_labels_mostly_degenerate(self, medium_network):
+        """Step 2/3 assign [i, i]; only cut vertices carry wide labels, so
+        degenerate labels must dominate on a real network."""
+        labels, _, _, _ = _run_round(medium_network, 6)
+        degenerate = sum(1 for l, h in labels if l == h)
+        assert degenerate > 0.7 * len(labels)
+
+    def test_no_widened_labels_on_clean_grid(self, medium_network):
+        _, stats, _, _ = _run_round(medium_network, 6)
+        assert stats.widened == 0
+
+    def test_zone_continuity_on_planar_grid(self):
+        """On a planar network, two adjacent vertices cannot carry
+        disjoint zone intervals: crossing from zone i to zone j requires
+        passing a cut vertex (whose interval spans both sides).  Holds
+        only when the in-zone BFS knows the bridge set -- here the
+        network is planar, so the set is empty and the invariant is
+        unconditional."""
+        net = grid_network(20, 20, seed=71)
+        labels, _, _, _ = _run_round(net, 6)
+        for edge in net.edges():
+            lu, hu = labels[edge.u]
+            lv, hv = labels[edge.v]
+            assert not (hu < lv or hv < lu), (edge, labels[edge.u],
+                                              labels[edge.v])
+
+    def test_bridges_do_not_leak_zones(self):
+        base = grid_network(15, 15, seed=41)
+        net, injected = add_bridges(base, 6, (3.0, 6.0), seed=42)
+        from repro.core.roadpart.bridges import find_bridges
+        bridges = find_bridges(net)
+        labels, _, _, _ = _run_round(net, 6, bridges=bridges)
+        # With bridges excluded from the BFS, non-bridge edges still obey
+        # zone continuity.
+        for edge in net.edges():
+            if (edge.u, edge.v) in bridges:
+                continue
+            lu, hu = labels[edge.u]
+            lv, hv = labels[edge.v]
+            assert not (hu < lv or hv < lu), (edge, labels[edge.u],
+                                              labels[edge.v])

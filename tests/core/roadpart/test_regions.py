@@ -1,0 +1,96 @@
+"""Unit tests for regions and region splitting."""
+
+import pytest
+
+from repro.core.roadpart.regions import RegionBuilder, RegionSet
+
+
+class TestRegionBuilder:
+    def test_single_round(self):
+        builder = RegionBuilder(4)
+        builder.apply_round([(1, 1), (1, 2), (1, 1), (2, 2)])
+        regions = builder.finish()
+        assert regions.region_count == 3
+        assert regions.region_of[0] == regions.region_of[2]
+        assert regions.region_of[0] != regions.region_of[1]
+
+    def test_splitting_across_rounds(self):
+        # Fig. 5: a region from round 1 splits when round 2 disagrees.
+        builder = RegionBuilder(4)
+        builder.apply_round([(1, 1), (1, 1), (1, 1), (2, 2)])
+        assert builder.current_region_count == 2
+        builder.apply_round([(3, 3), (3, 3), (4, 4), (3, 3)])
+        regions = builder.finish()
+        assert regions.region_count == 3
+        assert regions.vector_of_vertex(0) == ((1, 1), (3, 3))
+        assert regions.vector_of_vertex(2) == ((1, 1), (4, 4))
+        assert regions.vector_of_vertex(3) == ((2, 2), (3, 3))
+
+    def test_no_spurious_merge(self):
+        # Vertices separated in round 1 stay separated even when round 2
+        # agrees: region = equality on the FULL vector.
+        builder = RegionBuilder(2)
+        builder.apply_round([(1, 1), (2, 2)])
+        builder.apply_round([(5, 5), (5, 5)])
+        assert builder.finish().region_count == 2
+
+    def test_wrong_label_count_rejected(self):
+        builder = RegionBuilder(3)
+        with pytest.raises(ValueError):
+            builder.apply_round([(1, 1)])
+
+    def test_finish_requires_a_round(self):
+        with pytest.raises(ValueError):
+            RegionBuilder(2).finish()
+
+    def test_rounds_applied_counter(self):
+        builder = RegionBuilder(2)
+        assert builder.rounds_applied == 0
+        builder.apply_round([(1, 1), (1, 1)])
+        assert builder.rounds_applied == 1
+
+
+class TestRegionSet:
+    def _simple(self):
+        return RegionSet([0, 0, 1, 2, 1],
+                         [((1, 1),), ((2, 3),), ((4, 4),)])
+
+    def test_members(self):
+        rs = self._simple()
+        assert rs.members[0] == [0, 1]
+        assert rs.members[1] == [2, 4]
+        assert rs.members[2] == [3]
+
+    def test_max_region_size(self):
+        assert self._simple().max_region_size() == 2
+
+    def test_dimensions(self):
+        assert self._simple().dimensions == 1
+
+    def test_regions_of_vertices(self):
+        rs = self._simple()
+        assert rs.regions_of_vertices([0, 1, 4]) == [0, 1]
+        assert rs.regions_of_vertices([3]) == [2]
+
+    def test_vector_of_vertex(self):
+        assert self._simple().vector_of_vertex(3) == ((4, 4),)
+
+
+class TestIntegrationWithIndex:
+    def test_region_vectors_distinct(self, medium_index):
+        regions = medium_index.regions
+        assert len(set(regions.vectors)) == regions.region_count
+
+    def test_every_vertex_in_exactly_one_region(self, medium_index):
+        regions = medium_index.regions
+        seen = set()
+        for members in regions.members:
+            for v in members:
+                assert v not in seen
+                seen.add(v)
+        assert len(seen) == len(regions.region_of)
+
+    def test_storage_reduction(self, medium_index):
+        """|R| << |V| is the point of region storage (Section IV-A)."""
+        regions = medium_index.regions
+        assert regions.region_count < len(regions.region_of) / 2

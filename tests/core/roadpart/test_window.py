@@ -1,0 +1,121 @@
+"""Unit tests for the label algebra and window computation."""
+
+import pytest
+
+from repro.core.roadpart.window import (
+    comp,
+    label_intersection,
+    label_union,
+    labels_intersect,
+    loose_window,
+    region_in_window,
+    tight_window,
+)
+
+
+class TestLabelOps:
+    def test_union(self):
+        assert label_union((3, 4), (1, 2)) == (1, 4)
+        assert label_union((2, 5), (3, 4)) == (2, 5)
+
+    def test_intersection_overlapping(self):
+        assert label_intersection((1, 4), (3, 6)) == (3, 4)
+        assert label_intersection((2, 2), (2, 5)) == (2, 2)
+
+    def test_intersection_disjoint(self):
+        assert label_intersection((1, 2), (4, 6)) is None
+        assert not labels_intersect((1, 2), (4, 6))
+
+    def test_intersection_touching(self):
+        assert label_intersection((1, 3), (3, 6)) == (3, 3)
+
+    def test_comp_three_ways(self):
+        # The paper's worked examples (Section V-C).
+        assert comp((5, 6), (3, 4)) == 1
+        assert comp((1, 2), (3, 4)) == -1
+        assert comp((2, 3), (3, 4)) == 0
+        assert comp((4, 6), (3, 4)) == 0
+
+
+class TestLooseWindow:
+    def test_is_per_dimension_union(self):
+        vectors = [((3, 3), (1, 2)), ((4, 6), (2, 2))]
+        assert loose_window(vectors) == [(3, 6), (1, 2)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            loose_window([])
+
+
+class TestTightWindow:
+    def test_papers_fig6b_example(self):
+        """Fig. 6(b): t has [4, 6], t' has [4, 4]; the loose window spans
+        to zone 6, the tight one stops at 4 (a region labelled [6, 6] is
+        then prunable)."""
+        vec_t = ((4, 6),)
+        vec_t_prime = ((4, 4),)
+        vec_s = ((3, 3),)
+        loose = loose_window([vec_s, vec_t, vec_t_prime])
+        tight = tight_window([vec_s, vec_t, vec_t_prime])
+        assert loose == [(3, 6)]
+        assert tight == [(3, 4)]
+        far_region = ((6, 6),)
+        assert region_in_window(far_region, loose)       # NOT prunable
+        assert not region_in_window(far_region, tight)   # prunable
+
+    def test_initialisation_prefers_degenerate(self):
+        # With a degenerate [l, l] present, the window starts there.
+        tight = tight_window([((2, 5),), ((3, 3),)])
+        assert tight == [(2, 3)] or tight == [(3, 3)]
+        # The degenerate zone 3 must be covered.
+        assert tight[0][0] <= 3 <= tight[0][1]
+
+    def test_expansion_case2_downward(self):
+        # Window [3,3], region [1,2] strictly below: extend down to 2.
+        tight = tight_window([((3, 3),), ((1, 2),)])
+        assert tight == [(2, 3)]
+
+    def test_expansion_case3_upward(self):
+        tight = tight_window([((3, 3),), ((5, 6),)])
+        assert tight == [(3, 5)]
+
+    def test_every_query_region_covered(self):
+        """The correctness requirement: every query region must intersect
+        the tight window in every dimension (else it would be pruned and
+        the DPS would lose its own query vertices)."""
+        import random
+        rng = random.Random(8)
+        for _ in range(200):
+            dims = rng.randint(1, 5)
+            vectors = []
+            for _ in range(rng.randint(1, 8)):
+                vec = []
+                for _ in range(dims):
+                    low = rng.randint(1, 8)
+                    high = rng.randint(low, 8)
+                    vec.append((low, high))
+                vectors.append(tuple(vec))
+            window = tight_window(vectors)
+            for vec in vectors:
+                assert region_in_window(vec, window), (vectors, window)
+
+    def test_tight_no_wider_than_loose(self):
+        import random
+        rng = random.Random(9)
+        for _ in range(100):
+            vectors = []
+            for _ in range(rng.randint(1, 6)):
+                low = rng.randint(1, 9)
+                high = rng.randint(low, 9)
+                vectors.append(((low, high),))
+            tight = tight_window(vectors)
+            loose = loose_window(vectors)
+            assert loose[0][0] <= tight[0][0] <= tight[0][1] <= loose[0][1]
+
+
+class TestRegionInWindow:
+    def test_all_dims_must_intersect(self):
+        window = [(2, 4), (5, 6)]
+        assert region_in_window(((3, 3), (6, 8)), window)
+        assert not region_in_window(((3, 3), (7, 8)), window)
+        assert not region_in_window(((5, 6), (1, 2)), window)

@@ -1,0 +1,72 @@
+"""Unit tests for BL-E (Section III-B)."""
+
+import math
+
+import pytest
+
+from repro.core.ble import bl_efficiency, run_ble_search
+from repro.core.dps import DPSQuery
+from repro.core.verify import verify_dps
+from repro.shortestpath.dijkstra import sssp
+
+
+class TestMechanics:
+    def test_center_vertex_near_mbr_center(self, grid5):
+        query = DPSQuery.q_query([0, 4, 20, 24])  # corners; centre (2,2)
+        outcome = run_ble_search(grid5, query)
+        assert outcome.center_vertex == 12  # the grid centre
+
+    def test_radius_is_max_query_distance(self, grid5):
+        query = DPSQuery.q_query([0, 4, 20, 24])
+        outcome = run_ble_search(grid5, query)
+        assert outcome.radius == pytest.approx(4.0)  # centre to a corner
+
+    def test_dps_is_exactly_the_2r_ball(self, grid5):
+        query = DPSQuery.q_query([0, 4, 20, 24])
+        result = bl_efficiency(grid5, query)
+        tree = sssp(grid5, 12)
+        want = {v for v in grid5.vertices() if tree.dist[v] <= 8.0}
+        assert set(result.vertices) == want
+
+    def test_stats_recorded(self, grid5):
+        result = bl_efficiency(grid5, DPSQuery.q_query([0, 24]))
+        assert result.stats["sssp_rounds"] == 1
+        assert result.stats["radius"] > 0
+
+
+class TestCorrectness:
+    def test_theorem1_no_query_path_leaves_ball(self, medium_network,
+                                                medium_query):
+        result = bl_efficiency(medium_network, medium_query)
+        assert verify_dps(medium_network, result, medium_query,
+                          max_sources=10).ok
+
+    def test_st_query(self, medium_network):
+        from repro.datasets.queries import st_query
+        s, t = st_query(medium_network, 0.1, 0.3, seed=6)
+        query = DPSQuery.st_query(s, t)
+        result = bl_efficiency(medium_network, query)
+        assert verify_dps(medium_network, result, query, max_sources=8).ok
+
+    def test_single_vertex_query(self, grid5):
+        query = DPSQuery.q_query([7])
+        result = bl_efficiency(grid5, query)
+        assert 7 in result.vertices
+
+    def test_within_2r_helper(self, grid5):
+        query = DPSQuery.q_query([0, 4, 20, 24])
+        outcome = run_ble_search(grid5, query)
+        tree = sssp(grid5, 12)
+        for v in grid5.vertices():
+            assert outcome.within_2r(v) == (tree.dist[v] <= 8.0)
+
+
+class TestLooseness:
+    def test_larger_than_blq_but_bounded(self, medium_network, medium_query):
+        """The paper: the BL-E DPS is ≥ ~4x the smallest in area; it is a
+        loose but not unbounded superset."""
+        from repro.core.blq import bl_quality
+        blq = bl_quality(medium_network, medium_query)
+        ble = bl_efficiency(medium_network, medium_query)
+        assert ble.size >= blq.size
+        assert ble.size <= medium_network.num_vertices

@@ -1,0 +1,103 @@
+"""Unit tests for the DPS query/result types."""
+
+import pytest
+
+from repro.core.dps import DPSQuery, DPSResult
+
+
+class TestDPSQuery:
+    def test_q_query_symmetric(self):
+        q = DPSQuery.q_query([1, 2, 3])
+        assert q.is_symmetric
+        assert q.sources == q.targets == frozenset({1, 2, 3})
+        assert q.combined == frozenset({1, 2, 3})
+
+    def test_st_query(self):
+        q = DPSQuery.st_query([1, 2], [3, 4, 5])
+        assert not q.is_symmetric
+        assert q.combined == frozenset({1, 2, 3, 4, 5})
+
+    def test_st_query_with_overlap_can_be_symmetric(self):
+        q = DPSQuery.st_query([1, 2], [2, 1])
+        assert q.is_symmetric
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ValueError):
+            DPSQuery.st_query([], [1])
+        with pytest.raises(ValueError):
+            DPSQuery.q_query([])
+
+    def test_smaller_side(self):
+        q = DPSQuery.st_query([1, 2, 3], [4, 5])
+        small, large = q.smaller_side()
+        assert small == frozenset({4, 5})
+        assert large == frozenset({1, 2, 3})
+
+    def test_validate_against(self, grid5):
+        DPSQuery.q_query([0, 24]).validate_against(grid5)  # fine
+        with pytest.raises(ValueError):
+            DPSQuery.q_query([0, 99]).validate_against(grid5)
+
+    def test_hashable_and_frozen(self):
+        a = DPSQuery.q_query([1, 2])
+        b = DPSQuery.q_query([2, 1])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestDPSResult:
+    def _result(self, vertices, query=None):
+        query = query or DPSQuery.q_query([1, 2])
+        return DPSResult("test", query, frozenset(vertices))
+
+    def test_size(self):
+        assert self._result({1, 2, 3, 4}).size == 4
+
+    def test_query_vertices_must_be_inside(self):
+        with pytest.raises(ValueError):
+            self._result({1, 7})  # missing query vertex 2
+
+    def test_v_ratio(self):
+        smallest = self._result({1, 2})
+        bigger = self._result({1, 2, 3, 4})
+        assert bigger.v_ratio(smallest) == 2.0
+        assert smallest.v_ratio(smallest) == 1.0
+
+    def test_edge_count(self, grid5):
+        q = DPSQuery.q_query([0, 1])
+        result = DPSResult("test", q, frozenset({0, 1, 2, 5, 6}))
+        assert result.edge_count(grid5) == 5
+
+    def test_extract(self, grid5):
+        q = DPSQuery.q_query([0, 6])
+        result = DPSResult("test", q, frozenset({0, 1, 6}))
+        sub, mapping = result.extract(grid5)
+        assert sub.num_vertices == 3
+        assert mapping == [0, 1, 6]
+
+
+class TestMerge:
+    def test_merge_preserves_all_inputs(self, grid5):
+        from repro.core.blq import bl_quality
+        from repro.core.verify import verify_dps
+        q1 = DPSQuery.st_query([0], [4])
+        q2 = DPSQuery.st_query([0], [20])
+        merged = DPSResult.merge([bl_quality(grid5, q1),
+                                  bl_quality(grid5, q2)])
+        assert verify_dps(grid5, merged, q1).ok
+        assert verify_dps(grid5, merged, q2).ok
+        assert merged.query.sources == frozenset({0})
+        assert merged.query.targets == frozenset({4, 20})
+
+    def test_merge_union_of_vertices(self):
+        q = DPSQuery.q_query([1])
+        a = DPSResult("x", q, frozenset({1, 2}))
+        b = DPSResult("y", q, frozenset({1, 3}))
+        merged = DPSResult.merge([a, b])
+        assert merged.vertices == frozenset({1, 2, 3})
+        assert merged.algorithm == "merged(x+y)"
+        assert merged.stats["merged_inputs"] == 2
+
+    def test_merge_empty_rejected(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            DPSResult.merge([])

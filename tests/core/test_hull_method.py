@@ -1,0 +1,115 @@
+"""Unit tests for the convex hull method (Section VI)."""
+
+import pytest
+
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.query import roadpart_dps
+from repro.core.verify import verify_dps
+from repro.datasets.queries import st_query, window_query
+
+
+class TestAlgorithm1:
+    def test_q_dps_verifies(self, medium_network, medium_query):
+        result = convex_hull_dps(medium_network, medium_query)
+        assert verify_dps(medium_network, result, medium_query,
+                          max_sources=10).ok
+
+    def test_covers_hull_interior(self, grid5):
+        query = DPSQuery.q_query([0, 4, 20, 24])  # hull = whole grid
+        result = convex_hull_dps(grid5, query)
+        assert result.size == 25
+
+    def test_tiny_query(self, grid5):
+        query = DPSQuery.q_query([7, 8])
+        result = convex_hull_dps(grid5, query)
+        assert verify_dps(grid5, result, query).ok
+
+    def test_collinear_query(self, grid5):
+        query = DPSQuery.q_query([0, 2, 4])  # three points on a line
+        result = convex_hull_dps(grid5, query)
+        assert verify_dps(grid5, result, query).ok
+
+    def test_single_point_query(self, grid5):
+        query = DPSQuery.q_query([12])
+        result = convex_hull_dps(grid5, query)
+        assert 12 in result.vertices
+        assert verify_dps(grid5, result, query).ok
+
+    def test_stats_exposed(self, medium_network, medium_query):
+        result = convex_hull_dps(medium_network, medium_query)
+        assert result.stats["border"] >= 0
+        assert result.stats["refined"] == 0.0
+
+
+class TestAlgorithm2:
+    def test_st_dps_verifies(self, medium_network):
+        s, t = st_query(medium_network, 0.12, 0.4, seed=13)
+        query = DPSQuery.st_query(s, t)
+        result = convex_hull_dps(medium_network, query)
+        assert verify_dps(medium_network, result, query, max_sources=8).ok
+
+    def test_disjoint_far_hulls(self, grid5):
+        query = DPSQuery.st_query([0, 1, 5], [18, 19, 23, 24])
+        result = convex_hull_dps(grid5, query)
+        assert verify_dps(grid5, result, query).ok
+
+    def test_overlapping_hulls(self, grid5):
+        query = DPSQuery.st_query([0, 12, 4], [6, 18])
+        result = convex_hull_dps(grid5, query)
+        assert verify_dps(grid5, result, query).ok
+
+
+class TestRefinement:
+    """Running the hull method on a RoadPart DPS (the paper's client-side
+    recommendation)."""
+
+    def test_refined_result_verifies(self, medium_network, medium_index,
+                                     medium_query):
+        base = roadpart_dps(medium_index, medium_query)
+        refined = convex_hull_dps(medium_network, medium_query, base=base)
+        assert verify_dps(medium_network, refined, medium_query,
+                          max_sources=10).ok
+
+    def test_refined_no_larger_than_base(self, medium_network, medium_index,
+                                         medium_query):
+        base = roadpart_dps(medium_index, medium_query)
+        refined = convex_hull_dps(medium_network, medium_query, base=base)
+        assert refined.size <= base.size
+        assert refined.stats["refined"] == 1.0
+
+    def test_refined_no_looser_than_unrefined(self, medium_network,
+                                              medium_index, medium_query):
+        """Section VII-B observes '|border| and |V'| are the same' whether
+        the input is the network or the DPS.  With this implementation's
+        endpoint substitution (see the module docstring of
+        repro.core.hull), hull-crossing edges outside the base DPS drop
+        out of the border, so the refined result can be slightly
+        *smaller* -- never larger, and still distance-preserving (checked
+        by test_refined_result_verifies)."""
+        base = roadpart_dps(medium_index, medium_query)
+        on_full = convex_hull_dps(medium_network, medium_query)
+        on_base = convex_hull_dps(medium_network, medium_query, base=base)
+        assert on_base.size <= on_full.size
+        assert on_base.stats["border"] <= on_full.stats["border"]
+
+    def test_base_must_cover_query(self, medium_network, medium_query):
+        with pytest.raises(ValueError):
+            convex_hull_dps(medium_network, medium_query, base={0, 1, 2})
+
+    def test_base_accepts_plain_sets(self, medium_network, medium_query):
+        everything = set(medium_network.vertices())
+        result = convex_hull_dps(medium_network, medium_query,
+                                 base=everything)
+        assert verify_dps(medium_network, result, medium_query,
+                          max_sources=5).ok
+
+
+class TestQuality:
+    def test_near_minimal(self, medium_network, medium_query):
+        """Fig. 11: the hull method's V-ratio 'never exceeds 1.1' in the
+        paper; allow a modest cushion for the smaller synthetic network."""
+        blq = bl_quality(medium_network, medium_query)
+        hull = convex_hull_dps(medium_network, medium_query)
+        assert hull.v_ratio(blq) <= 1.6

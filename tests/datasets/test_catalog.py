@@ -1,0 +1,44 @@
+"""Unit tests for the dataset catalog (only the smallest stand-in is
+built here; the larger ones are exercised by the benchmarks)."""
+
+import pytest
+
+from repro.datasets.catalog import DATASETS, load_dataset
+from repro.graph.builder import validate_network
+
+
+class TestCatalog:
+    def test_four_paper_datasets(self):
+        assert set(DATASETS) == {"COL-S", "NW-S", "EAST-S", "USA-S"}
+
+    def test_specs_scale_like_the_paper(self):
+        sizes = [DATASETS[n].columns * DATASETS[n].rows
+                 for n in ("COL-S", "NW-S", "EAST-S", "USA-S")]
+        assert sizes == sorted(sizes)
+        # The paper's networks grow ~2.4-3x per step.
+        for small, large in zip(sizes, sizes[1:]):
+            assert 1.8 <= large / small <= 3.5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("MOON-S")
+
+    def test_smallest_dataset_valid(self):
+        net, injected = load_dataset("COL-S")
+        assert validate_network(net) == []
+        assert injected  # has bridges
+        spec = DATASETS["COL-S"]
+        assert abs(net.num_vertices - spec.columns * spec.rows) \
+            < 0.05 * spec.columns * spec.rows
+
+    def test_cached(self):
+        a, _ = load_dataset("COL-S")
+        b, _ = load_dataset("COL-S")
+        assert a is b
+
+    def test_bridge_fraction_near_target(self):
+        from repro.core.roadpart.bridges import find_bridges
+        net, _ = load_dataset("COL-S")
+        detected = len(find_bridges(net)) / net.num_edges
+        target = DATASETS["COL-S"].bridge_fraction
+        assert 0.4 * target <= detected <= 2.0 * target

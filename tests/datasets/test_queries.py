@@ -1,0 +1,93 @@
+"""Unit tests for the Section VII-B query generators."""
+
+import math
+
+import pytest
+
+from repro.datasets.queries import random_vertex_pairs, st_query, window_query
+from repro.spatial.rect import Rect
+
+
+class TestWindowQuery:
+    def test_vertices_inside_window(self, medium_network):
+        q = window_query(medium_network, 0.2, seed=5)
+        assert q
+        bounds = medium_network.bounds()
+        # All query vertices fit in *some* 0.2W x 0.2H window: check span.
+        xs = [medium_network.coord(v).x for v in q]
+        ys = [medium_network.coord(v).y for v in q]
+        assert max(xs) - min(xs) <= 0.2 * bounds.width + 1e-9
+        assert max(ys) - min(ys) <= 0.2 * bounds.height + 1e-9
+
+    def test_deterministic(self, medium_network):
+        assert window_query(medium_network, 0.15, seed=3) == \
+            window_query(medium_network, 0.15, seed=3)
+
+    def test_epsilon_grows_query_quadratically(self, medium_network):
+        # |Q| is quadratic in ε (Section VII-B observation): doubling ε at
+        # the same centre should roughly quadruple the query size.
+        center = medium_network.bounds().center()
+        small = window_query(medium_network, 0.2, center=center)
+        large = window_query(medium_network, 0.4, center=center)
+        assert 2.5 <= len(large) / len(small) <= 6.0
+
+    def test_explicit_center(self, medium_network):
+        center = medium_network.bounds().center()
+        q = window_query(medium_network, 0.3, center=center)
+        window = Rect.from_center(center,
+                                  0.3 * medium_network.bounds().width,
+                                  0.3 * medium_network.bounds().height)
+        for v in q:
+            assert window.contains_point(medium_network.coord(v))
+
+    def test_epsilon_validation(self, medium_network):
+        with pytest.raises(ValueError):
+            window_query(medium_network, 0.0)
+        with pytest.raises(ValueError):
+            window_query(medium_network, 1.5)
+
+
+class TestSTQuery:
+    def test_centres_separated(self, medium_network):
+        s, t = st_query(medium_network, 0.1, 0.5, seed=7)
+        assert s and t
+        bounds = medium_network.bounds()
+        cs = Rect.from_points([medium_network.coord(v) for v in s]).center()
+        ct = Rect.from_points([medium_network.coord(v) for v in t]).center()
+        separation = math.dist(cs, ct)
+        # Window *centres* are exactly ε'W apart; the vertex MBR centres
+        # wander within the ε-window, so allow that slack.
+        slack = 0.1 * max(bounds.width, bounds.height)
+        assert abs(separation - 0.5 * bounds.width) <= slack + 1e-9
+
+    def test_deterministic(self, medium_network):
+        assert st_query(medium_network, 0.1, 0.3, seed=2) == \
+            st_query(medium_network, 0.1, 0.3, seed=2)
+
+    def test_zero_separation_allowed(self, medium_network):
+        s, t = st_query(medium_network, 0.15, 0.0, seed=4)
+        assert s and t
+
+    def test_validation(self, medium_network):
+        with pytest.raises(ValueError):
+            st_query(medium_network, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            st_query(medium_network, 0.1, -0.5)
+
+
+class TestRandomPairs:
+    def test_pairs_from_query_set(self, medium_network):
+        q = window_query(medium_network, 0.3, seed=1)
+        pairs = random_vertex_pairs(medium_network, q, 50, seed=2)
+        assert len(pairs) == 50
+        for s, t in pairs:
+            assert s in q and t in q and s != t
+
+    def test_deterministic(self, medium_network):
+        q = window_query(medium_network, 0.3, seed=1)
+        assert random_vertex_pairs(medium_network, q, 20, seed=9) == \
+            random_vertex_pairs(medium_network, q, 20, seed=9)
+
+    def test_needs_two_vertices(self, medium_network):
+        with pytest.raises(ValueError):
+            random_vertex_pairs(medium_network, [4], 5)

@@ -1,0 +1,90 @@
+"""Unit tests for network building, validation and metric scaling."""
+
+import math
+
+import pytest
+
+from repro.graph.builder import (
+    build_network,
+    metric_violation_ratio,
+    scale_weights_to_metric,
+    validate_network,
+)
+from repro.graph.network import RoadNetwork
+
+
+class TestBuildNetwork:
+    def test_labelled_construction(self):
+        net, ids = build_network(
+            {"a": (0, 0), "b": (1, 0), "c": (1, 1)},
+            [("a", "b", 1.0), ("b", "c", 1.0)])
+        assert net.num_vertices == 3
+        assert net.has_edge(ids["a"], ids["b"])
+        assert not net.has_edge(ids["a"], ids["c"])
+
+    def test_deterministic_ids(self):
+        coords = {"x": (0, 0), "y": (1, 0)}
+        _, ids1 = build_network(coords, [("x", "y", 1.0)])
+        _, ids2 = build_network(coords, [("x", "y", 1.0)])
+        assert ids1 == ids2
+
+
+class TestMetricScaling:
+    def test_violation_ratio_detects_short_edge(self):
+        # Edge of weight 1 spanning Euclidean distance 2: ratio 2.
+        net = RoadNetwork([(0, 0), (2, 0)], [(0, 1, 1.0)])
+        assert metric_violation_ratio(net) == pytest.approx(2.0)
+
+    def test_clean_network_ratio_one(self, grid5):
+        assert metric_violation_ratio(grid5) == pytest.approx(1.0)
+
+    def test_scaling_restores_invariant(self):
+        net = RoadNetwork([(0, 0), (2, 0), (2, 2)],
+                          [(0, 1, 1.0), (1, 2, 5.0)])
+        fixed = scale_weights_to_metric(net)
+        assert metric_violation_ratio(fixed) <= 1.0
+        # Global scaling preserves weight ratios (and hence all paths).
+        assert (fixed.edge_weight(1, 2) / fixed.edge_weight(0, 1)
+                == pytest.approx(5.0))
+
+    def test_scaling_noop_when_clean(self, grid5):
+        assert scale_weights_to_metric(grid5) is grid5
+
+    def test_zero_weight_edge_between_distinct_points_rejected(self):
+        net = RoadNetwork([(0, 0), (1, 0)], [(0, 1, 0.0)])
+        with pytest.raises(ValueError):
+            metric_violation_ratio(net)
+
+    def test_coincident_vertices_tolerated(self):
+        # Two vertices at the same point: any weight is metric.
+        net = RoadNetwork([(0, 0), (0, 0)], [(0, 1, 0.5)])
+        assert metric_violation_ratio(net) == 1.0
+
+
+class TestValidate:
+    def test_clean_network(self, grid5):
+        assert validate_network(grid5) == []
+
+    def test_disconnected_flagged(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        problems = validate_network(net)
+        assert any("not connected" in p for p in problems)
+
+    def test_metric_violation_flagged(self):
+        net = RoadNetwork([(0, 0), (2, 0)], [(0, 1, 1.0)])
+        problems = validate_network(net, require_connected=False)
+        assert any("metric" in p for p in problems)
+
+    def test_high_degree_flagged(self):
+        coords = [(0.0, 0.0)] + [(math.cos(k), math.sin(k))
+                                 for k in range(20)]
+        edges = [(0, i, 1.0) for i in range(1, 21)]
+        net = RoadNetwork(coords, edges)
+        problems = validate_network(net, require_connected=False,
+                                    require_metric=False)
+        assert any("degree" in p for p in problems)
+
+    def test_empty_network_flagged(self):
+        assert validate_network(RoadNetwork([], [])) == [
+            "network has no vertices"]

@@ -1,0 +1,44 @@
+"""Unit tests for connectivity utilities."""
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.network import RoadNetwork
+
+
+def _two_component_net():
+    # Component A: 0-1-2 (a path); component B: 3-4.
+    return RoadNetwork([(0, 0), (1, 0), (2, 0), (10, 10), (11, 10)],
+                       [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+
+
+class TestComponents:
+    def test_connected_grid(self, grid5):
+        assert is_connected(grid5)
+        assert len(connected_components(grid5)) == 1
+
+    def test_two_components_sorted_by_size(self):
+        comps = connected_components(_two_component_net())
+        assert [len(c) for c in comps] == [3, 2]
+        assert comps[0] == {0, 1, 2}
+
+    def test_isolated_vertex(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5)], [(0, 1, 1.0)])
+        assert not is_connected(net)
+        comps = connected_components(net)
+        assert {2} in comps
+
+    def test_single_vertex_connected(self):
+        assert is_connected(RoadNetwork([(0, 0)], []))
+
+    def test_empty_connected(self):
+        assert is_connected(RoadNetwork([], []))
+
+
+class TestLargestComponent:
+    def test_extracts_largest(self):
+        sub = largest_component(_two_component_net())
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert is_connected(sub)
+
+    def test_noop_when_connected(self, grid5):
+        assert largest_component(grid5) is grid5

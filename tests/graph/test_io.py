@@ -1,0 +1,91 @@
+"""Unit tests for DIMACS I/O."""
+
+import io
+
+import pytest
+
+from repro.graph.io import DimacsFormatError, read_dimacs, write_dimacs
+from repro.graph.network import RoadNetwork
+
+GR = """c example graph
+p sp 3 4
+a 1 2 10
+a 2 1 10
+a 2 3 7
+a 3 2 7
+"""
+
+CO = """c example coordinates
+p aux sp co 3
+v 1 0.0 0.0
+v 2 10.0 0.0
+v 3 10.0 7.0
+"""
+
+
+class TestRead:
+    def test_round_numbers(self):
+        net = read_dimacs(io.StringIO(GR), io.StringIO(CO))
+        assert net.num_vertices == 3
+        assert net.num_edges == 2
+        assert net.edge_weight(0, 1) == 10.0
+        assert net.coord(2) == (10.0, 7.0)
+
+    def test_asymmetric_arcs_keep_lighter(self):
+        gr = "p sp 2 2\na 1 2 5\na 2 1 3\n"
+        co = "v 1 0 0\nv 2 1 0\n"
+        net = read_dimacs(io.StringIO(gr), io.StringIO(co))
+        assert net.edge_weight(0, 1) == 3.0
+
+    def test_self_loops_dropped(self):
+        gr = "p sp 2 3\na 1 1 9\na 1 2 5\na 2 1 5\n"
+        co = "v 1 0 0\nv 2 1 0\n"
+        net = read_dimacs(io.StringIO(gr), io.StringIO(co))
+        assert net.num_edges == 1
+
+    def test_missing_vertex_rejected(self):
+        gr = "a 1 9 5\n"
+        co = "v 1 0 0\nv 2 1 0\n"
+        with pytest.raises(DimacsFormatError):
+            read_dimacs(io.StringIO(gr), io.StringIO(co))
+
+    def test_malformed_arc_rejected(self):
+        with pytest.raises(DimacsFormatError):
+            read_dimacs(io.StringIO("a 1 2\n"), io.StringIO(CO))
+
+    def test_empty_files_rejected(self):
+        with pytest.raises(DimacsFormatError):
+            read_dimacs(io.StringIO("c nothing\n"), io.StringIO(CO))
+        with pytest.raises(DimacsFormatError):
+            read_dimacs(io.StringIO(GR), io.StringIO("c nothing\n"))
+
+    def test_from_files_on_disk(self, tmp_path):
+        gr_path = tmp_path / "g.gr"
+        co_path = tmp_path / "g.co"
+        gr_path.write_text(GR)
+        co_path.write_text(CO)
+        net = read_dimacs(gr_path, co_path)
+        assert net.num_vertices == 3
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, grid5, tmp_path):
+        gr = tmp_path / "grid.gr"
+        co = tmp_path / "grid.co"
+        write_dimacs(grid5, gr, co)
+        back = read_dimacs(gr, co)
+        assert back.num_vertices == grid5.num_vertices
+        assert back.num_edges == grid5.num_edges
+        for edge in grid5.edges():
+            assert back.edge_weight(edge.u, edge.v) == edge.weight
+        for v in grid5.vertices():
+            assert back.coord(v) == grid5.coord(v)
+
+    def test_float_weights_survive_exactly(self, tmp_path):
+        net = RoadNetwork([(0.1, 0.2), (1.3, 2.7)],
+                          [(0, 1, 1.2345678901234567)])
+        gr, co = tmp_path / "f.gr", tmp_path / "f.co"
+        write_dimacs(net, gr, co)
+        back = read_dimacs(gr, co)
+        assert back.edge_weight(0, 1) == 1.2345678901234567
+        assert back.coord(0) == (0.1, 0.2)

@@ -1,0 +1,119 @@
+"""Unit tests for the RoadNetwork structure."""
+
+import math
+
+import pytest
+
+from repro.graph.network import Edge, RoadNetwork
+
+
+class TestConstruction:
+    def test_counts(self, grid5):
+        assert grid5.num_vertices == 25
+        assert grid5.num_edges == 40
+        assert len(grid5) == 25
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 0, 1.0)])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 5, 1.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0, 0), (1, 1)], [(0, 1, -1.0)])
+
+    def test_parallel_edges_keep_lightest(self):
+        net = RoadNetwork([(0, 0), (1, 0)],
+                          [(0, 1, 3.0), (1, 0, 2.0), (0, 1, 5.0)])
+        assert net.num_edges == 1
+        assert net.edge_weight(0, 1) == 2.0
+
+    def test_empty_network(self):
+        net = RoadNetwork([], [])
+        assert net.num_vertices == 0 and net.num_edges == 0
+        assert net.max_degree() == 0
+
+
+class TestAccessors:
+    def test_neighbors_symmetric(self, grid5):
+        for edge in grid5.edges():
+            assert any(v == edge.v for v, _ in grid5.neighbors(edge.u))
+            assert any(v == edge.u for v, _ in grid5.neighbors(edge.v))
+
+    def test_degree(self, grid5):
+        assert grid5.degree(0) == 2     # corner
+        assert grid5.degree(2) == 3     # edge midpoint
+        assert grid5.degree(12) == 4    # centre
+        assert grid5.max_degree() == 4
+
+    def test_edge_weight_both_orders(self, grid5):
+        assert grid5.edge_weight(0, 1) == grid5.edge_weight(1, 0)
+
+    def test_edge_weight_missing_raises(self, grid5):
+        with pytest.raises(KeyError):
+            grid5.edge_weight(0, 24)
+
+    def test_has_edge(self, grid5):
+        assert grid5.has_edge(0, 1) and grid5.has_edge(1, 0)
+        assert not grid5.has_edge(0, 24)
+
+    def test_edges_normalised(self, grid5):
+        for edge in grid5.edges():
+            assert edge.u < edge.v
+
+    def test_edge_normalized_classmethod(self):
+        assert Edge.normalized(5, 2, 1.0) == Edge(2, 5, 1.0)
+
+    def test_coords_and_euclidean(self, grid5):
+        assert grid5.coord(7) == (2.0, 1.0)
+        assert grid5.euclidean_length(0, 6) == pytest.approx(math.sqrt(2))
+
+    def test_bounds(self, grid5):
+        b = grid5.bounds()
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0, 0, 4, 4)
+
+    def test_total_weight(self, grid5):
+        assert grid5.total_weight() == pytest.approx(40.0)
+
+
+class TestRtrees:
+    def test_vertex_rtree_cached(self, grid5):
+        assert grid5.vertex_rtree() is grid5.vertex_rtree()
+        assert len(grid5.vertex_rtree()) == 25
+
+    def test_edge_rtree_cached(self, grid5):
+        assert grid5.edge_rtree() is grid5.edge_rtree()
+        assert len(grid5.edge_rtree()) == 40
+
+    def test_vertex_rtree_nearest(self, grid5):
+        assert grid5.vertex_rtree().nearest_one((2.2, 1.1)) == 7
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self, grid5):
+        sub, mapping = grid5.induced_subgraph([0, 1, 2, 5, 6])
+        assert sub.num_vertices == 5
+        assert mapping == [0, 1, 2, 5, 6]
+        # Edges among kept vertices: (0,1),(1,2),(0,5),(1,6),(5,6).
+        assert sub.num_edges == 5
+
+    def test_induced_subgraph_preserves_coords_and_weights(self, grid5):
+        sub, mapping = grid5.induced_subgraph([6, 7, 8])
+        for new_id, old_id in enumerate(mapping):
+            assert sub.coord(new_id) == grid5.coord(old_id)
+        assert sub.edge_weight(0, 1) == grid5.edge_weight(6, 7)
+
+    def test_subgraph_edge_count(self, grid5):
+        assert grid5.subgraph_edge_count({0, 1, 2, 5, 6}) == 5
+        assert grid5.subgraph_edge_count({0, 24}) == 0
+        assert grid5.subgraph_edge_count(set()) == 0
+
+    def test_subgraph_edge_count_matches_materialised(self, medium_network):
+        import random
+        rng = random.Random(1)
+        kept = set(rng.sample(range(medium_network.num_vertices), 200))
+        sub, _ = medium_network.induced_subgraph(kept)
+        assert medium_network.subgraph_edge_count(kept) == sub.num_edges

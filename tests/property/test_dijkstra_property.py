@@ -1,0 +1,95 @@
+"""Property-based tests for the shortest-path engines on random
+connected geometric graphs, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_ppsp
+from repro.shortestpath.dijkstra import sssp
+
+
+@st.composite
+def connected_networks(draw):
+    """A random connected network with metric weights: random points, a
+    spanning path plus random extra edges, weights = Euclidean × detour."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    xs = draw(st.lists(st.floats(0, 100, allow_nan=False),
+                       min_size=n, max_size=n))
+    ys = draw(st.lists(st.floats(0, 100, allow_nan=False),
+                       min_size=n, max_size=n))
+    coords = list(zip(xs, ys))
+    detours = draw(st.lists(st.floats(1.0, 2.0, allow_nan=False),
+                            min_size=n - 1 + 2 * n,
+                            max_size=n - 1 + 2 * n))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=2 * n))
+    edges = []
+    k = 0
+
+    def weight(u, v):
+        base = math.dist(coords[u], coords[v])
+        return max(base * detours[k], 1e-6)
+
+    for i in range(n - 1):
+        edges.append((i, i + 1, weight(i, i + 1)))
+        k += 1
+    for u, v in extra:
+        if u != v:
+            edges.append((u, v, weight(u, v)))
+            k += 1
+    return RoadNetwork(coords, edges)
+
+
+@given(connected_networks())
+@settings(max_examples=40, deadline=None)
+def test_sssp_matches_networkx(network):
+    g = nx.Graph()
+    g.add_nodes_from(network.vertices())
+    for e in network.edges():
+        g.add_edge(e.u, e.v, weight=e.weight)
+    want = nx.single_source_dijkstra_path_length(g, 0)
+    tree = sssp(network, 0)
+    assert set(tree.dist) == set(want)
+    for v, d in want.items():
+        assert math.isclose(tree.dist[v], d, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(connected_networks(), st.integers(0, 1000), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_astar_and_bidirectional_match_dijkstra(network, s_raw, t_raw):
+    s = s_raw % network.num_vertices
+    t = t_raw % network.num_vertices
+    want = sssp(network, s, targets=[t]).dist[t]
+    a = astar(network, s, t)
+    b_dist, b_path = bidirectional_ppsp(network, s, t)
+    assert math.isclose(a.distance, want, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(b_dist, want, rel_tol=1e-9, abs_tol=1e-9)
+    assert b_path[0] == s and b_path[-1] == t
+
+
+@given(connected_networks(), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_sssp_tree_paths_have_reported_length(network, s_raw):
+    s = s_raw % network.num_vertices
+    tree = sssp(network, s)
+    for v in network.vertices():
+        path = tree.path_to(v)
+        total = sum(network.edge_weight(a, b)
+                    for a, b in zip(path, path[1:]))
+        assert math.isclose(total, tree.dist[v], rel_tol=1e-9,
+                            abs_tol=1e-9)
+
+
+@given(connected_networks(), st.floats(0, 200, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_radius_termination_settles_exactly_the_ball(network, radius):
+    full = sssp(network, 0)
+    truncated = sssp(network, 0, radius=radius)
+    want = {v for v, d in full.dist.items() if d <= radius}
+    assert set(truncated.dist) == want

@@ -1,0 +1,112 @@
+"""The headline property: every algorithm returns a distance-preserving
+subgraph on randomly generated road networks and queries.
+
+The networks come from the synthetic generators (seeded by hypothesis),
+so they always satisfy the road-network model; the queries are arbitrary
+vertex subsets, which is *stronger* than the paper's window workloads --
+scattered query points stress the window and hull constructions far more
+than compact windows do.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.index import build_index
+from repro.core.roadpart.query import roadpart_dps
+from repro.core.verify import verify_dps
+from repro.datasets.synthetic import add_bridges, grid_network
+
+# Networks are expensive to index; cache them per (seed, bridges) draw.
+_network_cache = {}
+
+
+def _network(seed: int, bridge_count: int):
+    key = (seed, bridge_count)
+    if key not in _network_cache:
+        base = grid_network(14, 13, seed=seed, drop_rate=0.15)
+        network, _ = add_bridges(base, bridge_count, (1.8, 4.5),
+                                 seed=seed + 1000)
+        index = build_index(network, border_count=5)
+        _network_cache[key] = (network, index)
+    return _network_cache[key]
+
+
+network_params = st.tuples(st.integers(0, 5), st.integers(0, 6))
+query_picks = st.lists(st.integers(0, 10_000), min_size=1, max_size=12)
+
+
+@given(network_params, query_picks)
+@settings(max_examples=25, deadline=None)
+def test_blq_and_ble_preserve_distances(params, picks):
+    network, _ = _network(*params)
+    q = sorted({p % network.num_vertices for p in picks})
+    query = DPSQuery.q_query(q)
+    for algo in (bl_quality, bl_efficiency):
+        result = algo(network, query)
+        report = verify_dps(network, result, query)
+        assert report.ok, f"{algo.__name__}: {report.summary()}"
+
+
+@given(network_params, query_picks)
+@settings(max_examples=25, deadline=None)
+def test_roadpart_preserves_distances(params, picks):
+    network, index = _network(*params)
+    q = sorted({p % network.num_vertices for p in picks})
+    query = DPSQuery.q_query(q)
+    result = roadpart_dps(index, query)
+    report = verify_dps(network, result, query)
+    assert report.ok, report.summary()
+
+
+@given(network_params, query_picks)
+@settings(max_examples=25, deadline=None)
+def test_hull_method_preserves_distances(params, picks):
+    network, _ = _network(*params)
+    q = sorted({p % network.num_vertices for p in picks})
+    query = DPSQuery.q_query(q)
+    result = convex_hull_dps(network, query)
+    report = verify_dps(network, result, query)
+    assert report.ok, report.summary()
+
+
+@given(network_params, query_picks, query_picks)
+@settings(max_examples=20, deadline=None)
+def test_st_queries_preserve_distances(params, s_picks, t_picks):
+    network, index = _network(*params)
+    s = sorted({p % network.num_vertices for p in s_picks})
+    t = sorted({p % network.num_vertices for p in t_picks})
+    query = DPSQuery.st_query(s, t)
+    for result in (bl_quality(network, query),
+                   roadpart_dps(index, query),
+                   convex_hull_dps(network, query)):
+        report = verify_dps(network, result, query)
+        assert report.ok, f"{result.algorithm}: {report.summary()}"
+
+
+@given(network_params, query_picks)
+@settings(max_examples=15, deadline=None)
+def test_refinement_preserves_distances_and_shrinks(params, picks):
+    network, index = _network(*params)
+    q = sorted({p % network.num_vertices for p in picks})
+    query = DPSQuery.q_query(q)
+    base = roadpart_dps(index, query)
+    refined = convex_hull_dps(network, query, base=base)
+    assert refined.size <= base.size
+    report = verify_dps(network, refined, query)
+    assert report.ok, report.summary()
+
+
+@given(network_params, query_picks)
+@settings(max_examples=15, deadline=None)
+def test_blq_is_minimal_among_algorithms(params, picks):
+    network, index = _network(*params)
+    q = sorted({p % network.num_vertices for p in picks})
+    query = DPSQuery.q_query(q)
+    smallest = bl_quality(network, query).size
+    assert smallest <= bl_efficiency(network, query).size
+    assert smallest <= roadpart_dps(index, query).size
+    assert smallest <= convex_hull_dps(network, query).size

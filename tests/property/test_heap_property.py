@@ -1,0 +1,74 @@
+"""Property-based tests for the addressable heap (hypothesis)."""
+
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shortestpath.heap import AddressableHeap
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9,
+                          allow_nan=False), max_size=200))
+def test_heapsort_matches_sorted(keys):
+    heap = AddressableHeap()
+    for i, k in enumerate(keys):
+        heap.push(k, i)
+    out = [heap.pop()[0] for _ in range(len(keys))]
+    assert out == sorted(keys)
+
+
+@given(st.lists(st.tuples(st.sampled_from("pdo"),
+                          st.floats(min_value=0, max_value=1000,
+                                    allow_nan=False)),
+                max_size=300))
+@settings(max_examples=50)
+def test_matches_model_under_mixed_ops(ops):
+    """Drive the heap and a dictionary model with the same operation
+    stream; every pop must return the model's minimum key and keep the
+    item bookkeeping consistent (ties may resolve to either item)."""
+    heap = AddressableHeap()
+    live = {}  # item -> current key
+    counter = 0
+    for op, key in ops:
+        if op == "p":
+            heap.push(key, counter)
+            live[counter] = key
+            counter += 1
+        elif op == "d" and live:
+            item = min(live)  # deterministic choice
+            new_key = min(live[item], key)
+            heap.decrease_key(new_key, item)
+            live[item] = new_key
+        elif op == "o" and live:
+            got_key, got_item = heap.pop()
+            assert got_key == min(live.values())
+            assert live[got_item] == got_key
+            del live[got_item]
+    assert len(heap) == len(live)
+    for item, key in live.items():
+        assert heap.key_of(item) == key
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=100))
+def test_min_key_is_global_minimum(keys):
+    heap = AddressableHeap()
+    for i, k in enumerate(keys):
+        heap.push(k, i)
+    assert heap.min_key() == min(keys)
+
+
+@given(st.dictionaries(st.integers(0, 50),
+                       st.floats(min_value=0, max_value=100,
+                                 allow_nan=False),
+                       min_size=1, max_size=50))
+def test_push_or_decrease_keeps_minimum_per_item(updates):
+    heap = AddressableHeap()
+    best = {}
+    for item, key in updates.items():
+        for candidate in (key, key * 2, key / 2 if key else 0.0):
+            heap.push_or_decrease(candidate, item)
+            best[item] = min(best.get(item, float("inf")), candidate)
+    for item, want in best.items():
+        assert heap.key_of(item) == want

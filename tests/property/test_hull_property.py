@@ -1,0 +1,67 @@
+"""Property-based tests for the convex hull."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import orientation
+from repro.spatial.hull import convex_hull, point_in_convex_polygon
+from repro.spatial.polygon import polygon_signed_area
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False,
+                   allow_infinity=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=80)
+
+
+@given(point_lists)
+@settings(max_examples=80)
+def test_hull_contains_every_input(pts):
+    hull = convex_hull(pts)
+    for p in pts:
+        assert point_in_convex_polygon(p, hull), (p, hull)
+
+
+@given(point_lists)
+@settings(max_examples=80)
+def test_hull_vertices_are_inputs(pts):
+    hull = convex_hull(pts)
+    input_set = {(p[0], p[1]) for p in pts}
+    for corner in hull:
+        assert (corner.x, corner.y) in input_set
+
+
+@given(point_lists)
+@settings(max_examples=80)
+def test_hull_is_convex_and_ccw(pts):
+    hull = convex_hull(pts)
+    n = len(hull)
+    if n < 3:
+        return
+    # Non-negative, not strictly positive: a sliver hull's true area can
+    # vanish in the shoelace float summation (a 1e-245-scale term is
+    # absorbed by the unit-scale terms).
+    assert polygon_signed_area(hull) >= 0
+    for i in range(n):
+        # Exact orientation (eps=0), matching the chain construction.
+        # Weak convexity (turn >= 0) is the honest float guarantee: the
+        # chain pops non-left turns as *it* evaluates them, but the same
+        # three points can round to collinear when re-evaluated from a
+        # different pivot (cross products lose the 1e-231-scale term),
+        # so a strict turn==1 assertion would test the rounding, not
+        # the hull.
+        turn = orientation(hull[i], hull[(i + 1) % n], hull[(i + 2) % n],
+                           0.0)
+        assert turn >= 0, "hull corners must never turn right"
+
+
+@given(point_lists)
+@settings(max_examples=60)
+def test_hull_idempotent(pts):
+    once = convex_hull(pts)
+    twice = convex_hull(once)
+    assert set(once) == set(twice)
+
+
+@given(point_lists)
+@settings(max_examples=40)
+def test_hull_order_invariant(pts):
+    assert set(convex_hull(pts)) == set(convex_hull(pts[::-1]))

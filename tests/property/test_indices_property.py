@@ -1,0 +1,79 @@
+"""Property-based tests for the three on-DPS index structures: every
+index must agree with Dijkstra on every pair of fuzzed networks."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import grid_network
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.alt import ALTIndex
+from repro.shortestpath.ch import ContractionHierarchy
+from repro.shortestpath.dijkstra import sssp
+from repro.shortestpath.hub_labels import HubLabelIndex
+
+network_params = st.tuples(st.integers(4, 9), st.integers(4, 9),
+                           st.integers(0, 50))
+
+_cache = {}
+
+
+def _make(columns, rows, seed):
+    key = (columns, rows, seed)
+    if key not in _cache:
+        net = grid_network(columns, rows, seed=seed, drop_rate=0.15)
+        trees = {v: sssp(net, v) for v in net.vertices()}
+        _cache[key] = (net, trees)
+    return _cache[key]
+
+
+@given(network_params)
+@settings(max_examples=15, deadline=None)
+def test_hub_labels_all_pairs(params):
+    network, trees = _make(*params)
+    index = HubLabelIndex(network)
+    for s in network.vertices():
+        for t in network.vertices():
+            assert math.isclose(index.distance(s, t), trees[s].dist[t],
+                                rel_tol=1e-9, abs_tol=1e-12), (s, t)
+
+
+@given(network_params)
+@settings(max_examples=10, deadline=None)
+def test_contraction_hierarchy_all_pairs(params):
+    network, trees = _make(*params)
+    ch = ContractionHierarchy(network)
+    for s in network.vertices():
+        for t in network.vertices():
+            assert math.isclose(ch.distance(s, t), trees[s].dist[t],
+                                rel_tol=1e-9, abs_tol=1e-12), (s, t)
+
+
+@given(network_params, st.integers(1, 6))
+@settings(max_examples=10, deadline=None)
+def test_alt_all_pairs_any_landmark_count(params, landmarks):
+    network, trees = _make(*params)
+    index = ALTIndex(network, landmark_count=landmarks, seed=params[2])
+    vertices = list(network.vertices())
+    for s in vertices[::3]:
+        for t in vertices[::3]:
+            got = index.query(s, t).distance
+            assert math.isclose(got, trees[s].dist[t],
+                                rel_tol=1e-9, abs_tol=1e-12), (s, t)
+
+
+@given(network_params)
+@settings(max_examples=10, deadline=None)
+def test_ch_paths_are_walkable(params):
+    network, trees = _make(*params)
+    ch = ContractionHierarchy(network)
+    vertices = list(network.vertices())
+    for s in vertices[::4]:
+        for t in vertices[::4]:
+            result = ch.query(s, t)
+            assert result.path[0] == s and result.path[-1] == t
+            total = sum(network.edge_weight(a, b)
+                        for a, b in zip(result.path, result.path[1:]))
+            assert math.isclose(total, result.distance,
+                                rel_tol=1e-9, abs_tol=1e-12)

@@ -1,0 +1,63 @@
+"""Property-based round-trip tests for DIMACS I/O."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.io import read_dimacs, write_dimacs
+from repro.graph.network import RoadNetwork
+
+coord = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+weight = st.floats(min_value=1e-9, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def networks(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    coords = draw(st.lists(st.tuples(coord, coord), min_size=n,
+                           max_size=n))
+    edges = []
+    if n > 1:
+        pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                         weight)
+        for u, v, w in draw(st.lists(pair, max_size=3 * n)):
+            if u != v:
+                edges.append((u, v, w))
+    return RoadNetwork(coords, edges)
+
+
+@given(networks())
+@settings(max_examples=50, deadline=None)
+def test_round_trip_preserves_everything(network):
+    gr, co = io.StringIO(), io.StringIO()
+    write_dimacs(network, gr, co)
+    gr.seek(0)
+    co.seek(0)
+    if network.num_edges == 0:
+        return  # DIMACS has no representation for an edgeless graph
+    back = read_dimacs(gr, co)
+    assert back.num_vertices == network.num_vertices
+    assert back.num_edges == network.num_edges
+    for v in network.vertices():
+        assert back.coord(v) == network.coord(v)
+    for edge in network.edges():
+        assert back.edge_weight(edge.u, edge.v) == edge.weight
+
+
+@given(networks())
+@settings(max_examples=30, deadline=None)
+def test_double_round_trip_is_fixed_point(network):
+    if network.num_edges == 0:
+        return
+    gr1, co1 = io.StringIO(), io.StringIO()
+    write_dimacs(network, gr1, co1)
+    gr1.seek(0)
+    co1.seek(0)
+    once = read_dimacs(gr1, co1)
+    gr2, co2 = io.StringIO(), io.StringIO()
+    write_dimacs(once, gr2, co2)
+    assert gr1.getvalue() == gr2.getvalue()
+    assert co1.getvalue() == co2.getvalue()

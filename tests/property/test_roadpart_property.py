@@ -1,0 +1,94 @@
+"""Property-based tests for RoadPart's internals: contour containment,
+labelling invariants and index determinism over fuzzed networks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.roadpart.border import select_borders
+from repro.core.roadpart.bridges import find_bridges
+from repro.core.roadpart.contour import hull_contour, walk_contour
+from repro.core.roadpart.labeling import CutCache, label_round
+from repro.datasets.synthetic import add_bridges, grid_network
+from repro.spatial.hull import point_in_convex_polygon
+from repro.spatial.polygon import point_in_polygon
+
+# Small fuzzed road networks: seeded grids with varying shape/bridges.
+network_params = st.tuples(st.integers(6, 14), st.integers(6, 14),
+                           st.integers(0, 100), st.integers(0, 4))
+
+_cache = {}
+
+
+def _make(columns, rows, seed, bridge_count):
+    key = (columns, rows, seed, bridge_count)
+    if key not in _cache:
+        base = grid_network(columns, rows, seed=seed, drop_rate=0.1)
+        network, _ = add_bridges(base, bridge_count, (1.8, 4.0),
+                                 seed=seed + 1)
+        _cache[key] = network
+    return _cache[key]
+
+
+@given(network_params)
+@settings(max_examples=30, deadline=None)
+def test_walked_contour_contains_every_vertex(params):
+    network = _make(*params)
+    contour = walk_contour(network)
+    for v in network.vertices():
+        assert point_in_polygon(network.coord(v), contour.points), v
+
+
+@given(network_params)
+@settings(max_examples=30, deadline=None)
+def test_hull_contour_contains_every_vertex(params):
+    network = _make(*params)
+    contour = hull_contour(network)
+    for v in network.vertices():
+        assert point_in_convex_polygon(network.coord(v), contour.points)
+
+
+@given(network_params, st.integers(4, 7))
+@settings(max_examples=20, deadline=None)
+def test_labelling_covers_and_stays_in_range(params, border_count):
+    network = _make(*params)
+    contour = walk_contour(network)
+    positions = select_borders(contour, border_count)
+    bridges = set(find_bridges(network))
+    labels, stats = label_round(network, contour, positions, 0, bridges,
+                                CutCache(network, forbidden_edges=bridges))
+    zone_count = len(positions)
+    assert len(labels) == network.num_vertices
+    for low, high in labels:
+        assert 1 <= low <= high <= zone_count
+
+
+@given(network_params, st.integers(4, 6))
+@settings(max_examples=15, deadline=None)
+def test_non_bridge_edges_never_jump_zones(params, border_count):
+    """The pruning-soundness invariant: adjacent non-bridge vertices
+    have overlapping-or-touching zone intervals (a jump would mean the
+    in-zone BFS leaked or a cut failed to separate)."""
+    network = _make(*params)
+    contour = walk_contour(network)
+    positions = select_borders(contour, border_count)
+    bridges = set(find_bridges(network))
+    labels, _ = label_round(network, contour, positions, 0, bridges,
+                            CutCache(network, forbidden_edges=bridges))
+    for edge in network.edges():
+        if (edge.u, edge.v) in bridges:
+            continue
+        lu, hu = labels[edge.u]
+        lv, hv = labels[edge.v]
+        assert not (hu < lv or hv < lu), (edge.key, labels[edge.u],
+                                          labels[edge.v])
+
+
+@given(network_params, st.integers(4, 6))
+@settings(max_examples=10, deadline=None)
+def test_index_build_deterministic(params, border_count):
+    from repro.core.roadpart.index import build_index
+    network = _make(*params)
+    a = build_index(network, border_count)
+    b = build_index(network, border_count)
+    assert a.regions.region_of == b.regions.region_of
+    assert a.border_vertex_ids == b.border_vertex_ids

@@ -1,0 +1,72 @@
+"""Property-based tests for the R-tree against linear-scan oracles."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import PointRTree, RTree
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                   allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+@given(st.lists(rects(), max_size=120), rects())
+@settings(max_examples=60)
+def test_search_equals_linear_scan(entry_rects, window):
+    tree = RTree([(r, i) for i, r in enumerate(entry_rects)],
+                 node_capacity=4)
+    got = {item for _, item in tree.search(window)}
+    want = {i for i, r in enumerate(entry_rects) if r.intersects(window)}
+    assert got == want
+
+
+@given(st.lists(points, min_size=1, max_size=100), points)
+@settings(max_examples=60)
+def test_nearest_equals_linear_scan(pts, probe):
+    tree = PointRTree(list(enumerate(pts)), node_capacity=4)
+    got_dist, _ = tree.nearest(probe, 1)[0]
+    want = min(math.dist(p, probe) for p in pts)
+    assert math.isclose(got_dist, want, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(st.lists(points, min_size=1, max_size=80),
+       points, st.integers(1, 10))
+@settings(max_examples=40)
+def test_k_nearest_sorted_and_complete(pts, probe, k):
+    tree = PointRTree(list(enumerate(pts)), node_capacity=4)
+    hits = tree.nearest(probe, k)
+    assert len(hits) == min(k, len(pts))
+    dists = [d for d, _ in hits]
+    assert dists == sorted(dists)
+    want = sorted(math.dist(p, probe) for p in pts)[:k]
+    for got, expected in zip(dists, want):
+        assert math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(st.lists(points, min_size=1, max_size=100), rects())
+@settings(max_examples=60)
+def test_point_window_query_equals_scan(pts, window):
+    tree = PointRTree(list(enumerate(pts)), node_capacity=4)
+    got = set(tree.in_window(window))
+    want = {i for i, p in enumerate(pts) if window.contains_point(p)}
+    assert got == want
+
+
+@given(st.lists(rects(), min_size=1, max_size=100),
+       st.integers(2, 16))
+@settings(max_examples=40)
+def test_bounds_invariant_any_capacity(entry_rects, capacity):
+    tree = RTree([(r, i) for i, r in enumerate(entry_rects)],
+                 node_capacity=capacity)
+    for r in entry_rects:
+        assert tree.bounds.contains_rect(r)

@@ -1,0 +1,134 @@
+"""Unit tests for the ALT landmark index."""
+
+import random
+
+import pytest
+
+from repro.core.dps import DPSQuery
+from repro.core.blq import bl_quality
+from repro.datasets.queries import window_query
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.alt import ALTIndex
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dijkstra import sssp
+
+
+@pytest.fixture(scope="module")
+def medium_alt(medium_network):
+    return ALTIndex(medium_network, landmark_count=6, seed=1)
+
+
+class TestBuild:
+    def test_landmark_count(self, medium_alt):
+        assert medium_alt.landmark_count == 6
+        assert len(set(medium_alt.landmarks)) == 6
+
+    def test_landmarks_spread_to_periphery(self, medium_network,
+                                           medium_alt):
+        """Farthest-point selection: each landmark is far from the
+        others (at least a tenth of the network diameter apart)."""
+        tree = sssp(medium_network, medium_alt.landmarks[0])
+        diameter_ish = max(tree.dist.values())
+        for i, a in enumerate(medium_alt.landmarks):
+            for b in medium_alt.landmarks[i + 1:]:
+                d = sssp(medium_network, a, targets=[b]).dist[b]
+                assert d > 0.1 * diameter_ish
+
+    def test_count_validation(self, grid5):
+        with pytest.raises(ValueError):
+            ALTIndex(grid5, landmark_count=0)
+
+    def test_disconnected_rejected(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            ALTIndex(net, landmark_count=2)
+
+    def test_more_landmarks_than_vertices(self, grid5):
+        index = ALTIndex(grid5, landmark_count=100)
+        assert index.landmark_count == 25
+
+    def test_table_bytes(self, medium_alt, medium_network):
+        assert medium_alt.table_bytes() == \
+            8 * 6 * medium_network.num_vertices
+
+
+class TestBounds:
+    def test_lower_bound_is_admissible(self, medium_network, medium_alt):
+        rng = random.Random(2)
+        for _ in range(25):
+            v = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            true = sssp(medium_network, v, targets=[t]).dist[t]
+            assert medium_alt.lower_bound(v, t) <= true + 1e-9
+
+    def test_bound_exact_at_landmark(self, medium_network, medium_alt):
+        landmark = medium_alt.landmarks[0]
+        tree = sssp(medium_network, landmark)
+        for v in list(medium_network.vertices())[::100]:
+            assert medium_alt.lower_bound(v, landmark) == \
+                pytest.approx(tree.dist[v])
+
+    def test_bound_zero_at_target(self, medium_alt):
+        assert medium_alt.lower_bound(5, 5) == 0.0
+
+
+class TestQueries:
+    def test_matches_dijkstra(self, medium_network, medium_alt):
+        rng = random.Random(3)
+        for _ in range(20):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            result = medium_alt.query(s, t)
+            want = sssp(medium_network, s, targets=[t]).dist[t]
+            assert result.distance == pytest.approx(want)
+            assert result.path[0] == s and result.path[-1] == t
+
+    def test_path_weights_sum(self, medium_network, medium_alt):
+        result = medium_alt.query(0, medium_network.num_vertices - 1)
+        total = sum(medium_network.edge_weight(a, b)
+                    for a, b in zip(result.path, result.path[1:]))
+        assert total == pytest.approx(result.distance)
+
+    def test_beats_blind_dijkstra(self, medium_network, medium_alt):
+        rng = random.Random(4)
+        alt_total = 0
+        blind_total = 0
+        for _ in range(15):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            alt_total += medium_alt.query(s, t).expanded
+            blind = sssp(medium_network, s, targets=[t])
+            blind_total += len(blind.dist)
+        assert alt_total < blind_total
+
+    def test_competitive_with_euclidean_astar(self, medium_network,
+                                              medium_alt):
+        """ALT bounds know the graph's detour factors; Euclidean bounds
+        do not.  Over a batch, ALT should not expand more vertices."""
+        rng = random.Random(5)
+        alt_total = 0
+        euclid_total = 0
+        for _ in range(20):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            alt_total += medium_alt.query(s, t).expanded
+            euclid_total += astar(medium_network, s, t).expanded
+        assert alt_total <= 1.1 * euclid_total
+
+
+class TestOnDPS:
+    def test_index_on_extracted_dps_answers_exactly(self, medium_network,
+                                                    medium_query):
+        """The Section I deployment: extract a DPS, build the index on
+        it, answer queries between points of interest exactly."""
+        dps = bl_quality(medium_network, medium_query)
+        sub, mapping = dps.extract(medium_network)
+        back = {old: new for new, old in enumerate(mapping)}
+        index = ALTIndex(sub, landmark_count=4, seed=6)
+        points = sorted(medium_query.sources)[:6]
+        for s in points[:2]:
+            for t in points[2:]:
+                got = index.query(back[s], back[t]).distance
+                want = sssp(medium_network, s, targets=[t]).dist[t]
+                assert got == pytest.approx(want)

@@ -1,0 +1,68 @@
+"""Unit tests for A* point-to-point search."""
+
+import math
+
+import pytest
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dijkstra import sssp
+
+
+class TestCorrectness:
+    def test_grid_distance(self, grid5):
+        result = astar(grid5, 0, 24)
+        assert result.distance == pytest.approx(8.0)
+        assert result.path[0] == 0 and result.path[-1] == 24
+        assert len(result.path) == 9
+
+    def test_source_equals_target(self, grid5):
+        result = astar(grid5, 7, 7)
+        assert result.distance == 0.0
+        assert result.path == [7]
+
+    def test_path_edges_exist_and_sum(self, grid5):
+        result = astar(grid5, 3, 21)
+        total = 0.0
+        for a, b in zip(result.path, result.path[1:]):
+            assert grid5.has_edge(a, b)
+            total += grid5.edge_weight(a, b)
+        assert total == pytest.approx(result.distance)
+
+    def test_uses_bridge_shortcut(self, bridge_network):
+        result = astar(bridge_network, 6, 13)
+        assert result.distance == pytest.approx(2.4)
+
+    def test_matches_dijkstra_everywhere(self, medium_network):
+        tree = sssp(medium_network, 0)
+        for target in [5, 99, 301, 500, medium_network.num_vertices - 1]:
+            result = astar(medium_network, 0, target)
+            assert result.distance == pytest.approx(tree.dist[target])
+
+
+class TestEfficiency:
+    def test_expands_fewer_vertices_than_dijkstra(self, medium_network):
+        """The heuristic must actually steer: corner-to-corner A* should
+        settle fewer vertices than blind Dijkstra."""
+        source, target = 0, medium_network.num_vertices - 1
+        result = astar(medium_network, source, target)
+        blind = sssp(medium_network, source, targets=[target])
+        assert result.expanded < len(blind.dist)
+
+
+class TestRestriction:
+    def test_allowed_set(self, grid5):
+        # Block column x=2 for rows 0-2: the only way across is row 3+.
+        allowed = set(grid5.vertices()) - {2, 7, 12}
+        result = astar(grid5, 0, 4, allowed=allowed)
+        assert result.distance == pytest.approx(10.0)
+
+    def test_endpoint_outside_allowed(self, grid5):
+        with pytest.raises(ValueError):
+            astar(grid5, 0, 4, allowed={0, 1, 2})
+
+    def test_no_path_raises(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            astar(net, 0, 3)

@@ -1,0 +1,91 @@
+"""Unit tests for the dual-heap bridge-domain search and bidirectional
+point-to-point Dijkstra."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.bidirectional import bidirectional_ppsp, bridge_domains
+from repro.shortestpath.dijkstra import sssp
+
+
+class TestBridgeDomains:
+    def test_domains_on_path(self, path_network):
+        # Path 0-1-2-3-4; treat edge (2, 3) as the "bridge".
+        d = bridge_domains(path_network, 2, 3, targets=range(5))
+        # UD = {x : dist(x,2) = dist(x,3) + |32|} = vertices whose shortest
+        # path to 2 passes through 3: {3, 4}.
+        assert d.ud_star == {3, 4}
+        assert d.vd_star == {0, 1, 2}
+
+    def test_domains_disjoint(self, bridge_network):
+        u, v = 6, 13
+        d = bridge_domains(bridge_network, u, v,
+                           targets=range(bridge_network.num_vertices))
+        assert not (d.ud_star & d.vd_star)
+
+    def test_domain_definition_matches_brute_force(self, bridge_network):
+        u, v = 6, 13
+        w = bridge_network.edge_weight(u, v)
+        du = sssp(bridge_network, u).dist
+        dv = sssp(bridge_network, v).dist
+        d = bridge_domains(bridge_network, u, v,
+                           targets=range(bridge_network.num_vertices))
+        for x in bridge_network.vertices():
+            in_ud = math.isclose(du[x], dv[x] + w, rel_tol=1e-9)
+            in_vd = math.isclose(dv[x], du[x] + w, rel_tol=1e-9)
+            assert (x in d.ud_star) == in_ud
+            assert (x in d.vd_star) == in_vd
+
+    def test_targets_restriction(self, bridge_network):
+        u, v = 6, 13
+        targets = [0, 18, 24]
+        d = bridge_domains(bridge_network, u, v, targets=targets)
+        assert d.ud_star <= set(targets)
+        assert d.vd_star <= set(targets)
+
+    def test_endpoints_settled_for_path_collection(self, bridge_network):
+        """The query processor reconstructs sp(x, u) from the domain
+        searches; every target must be settled in both."""
+        targets = [0, 4, 20, 24]
+        d = bridge_domains(bridge_network, 6, 13, targets=targets)
+        for x in targets:
+            assert x in d.search_u.dist
+            assert x in d.search_v.dist
+
+
+class TestBidirectionalPPSP:
+    def test_trivial(self, grid5):
+        assert bidirectional_ppsp(grid5, 3, 3) == (0.0, [3])
+
+    def test_grid_corner_to_corner(self, grid5):
+        dist, path = bidirectional_ppsp(grid5, 0, 24)
+        assert dist == pytest.approx(8.0)
+        assert path[0] == 0 and path[-1] == 24
+        total = sum(grid5.edge_weight(a, b)
+                    for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(dist)
+
+    def test_matches_dijkstra_on_random_pairs(self, medium_network):
+        rng = random.Random(31)
+        for _ in range(25):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            want = sssp(medium_network, s, targets=[t]).dist[t]
+            got, path = bidirectional_ppsp(medium_network, s, t)
+            assert got == pytest.approx(want)
+            assert path[0] == s and path[-1] == t
+
+    def test_no_path_raises(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            bidirectional_ppsp(net, 0, 3)
+
+    def test_allowed_restriction(self, grid5):
+        allowed = set(grid5.vertices()) - {2, 7, 12}
+        dist, path = bidirectional_ppsp(grid5, 0, 4, allowed=allowed)
+        assert dist == pytest.approx(10.0)
+        assert not {2, 7, 12} & set(path)

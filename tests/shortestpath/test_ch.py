@@ -1,0 +1,100 @@
+"""Unit tests for the contraction hierarchy."""
+
+import random
+
+import pytest
+
+from repro.core.blq import bl_quality
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.ch import ContractionHierarchy
+from repro.shortestpath.dijkstra import sssp
+
+
+@pytest.fixture(scope="module")
+def grid_ch(grid5):
+    return ContractionHierarchy(grid5)
+
+
+@pytest.fixture(scope="module")
+def medium_ch(medium_network):
+    return ContractionHierarchy(medium_network)
+
+
+class TestCorrectness:
+    def test_all_pairs_on_grid(self, grid5, grid_ch):
+        trees = {v: sssp(grid5, v) for v in grid5.vertices()}
+        for s in grid5.vertices():
+            for t in grid5.vertices():
+                assert grid_ch.distance(s, t) == \
+                    pytest.approx(trees[s].dist[t]), (s, t)
+
+    def test_random_pairs_on_medium(self, medium_network, medium_ch):
+        rng = random.Random(10)
+        for _ in range(40):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            want = sssp(medium_network, s, targets=[t]).dist[t]
+            result = medium_ch.query(s, t)
+            assert result.distance == pytest.approx(want), (s, t)
+
+    def test_paths_use_original_edges(self, medium_network, medium_ch):
+        rng = random.Random(11)
+        for _ in range(15):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            result = medium_ch.query(s, t)
+            assert result.path[0] == s and result.path[-1] == t
+            total = 0.0
+            for a, b in zip(result.path, result.path[1:]):
+                assert medium_network.has_edge(a, b), (a, b)
+                total += medium_network.edge_weight(a, b)
+            assert total == pytest.approx(result.distance)
+
+    def test_trivial_query(self, grid_ch):
+        result = grid_ch.query(3, 3)
+        assert result.distance == 0.0 and result.path == [3]
+
+    def test_uses_bridge_shortcut(self, bridge_network):
+        ch = ContractionHierarchy(bridge_network)
+        assert ch.distance(6, 13) == pytest.approx(2.4)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            ContractionHierarchy(RoadNetwork([], []))
+
+
+class TestStructure:
+    def test_shortcuts_bounded(self, medium_network, medium_ch):
+        """A sane hierarchy on a sparse near-planar network adds at most
+        a few shortcuts per vertex."""
+        assert medium_ch.shortcut_count < 4 * medium_network.num_vertices
+
+    def test_upward_graph_covers_all_edges_once(self, grid5, grid_ch):
+        assert grid_ch.upward_edge_count() >= grid5.num_edges
+
+    def test_query_expands_few_vertices(self, medium_network, medium_ch):
+        """CH's selling point: the two upward cones are far smaller than
+        a blind Dijkstra ball."""
+        rng = random.Random(12)
+        ch_total = 0
+        blind_total = 0
+        for _ in range(15):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            ch_total += medium_ch.query(s, t).expanded
+            blind_total += len(sssp(medium_network, s, targets=[t]).dist)
+        assert ch_total < blind_total
+
+
+class TestOnDPS:
+    def test_ch_on_extracted_dps(self, medium_network, medium_query):
+        dps = bl_quality(medium_network, medium_query)
+        sub, mapping = dps.extract(medium_network)
+        back = {old: new for new, old in enumerate(mapping)}
+        ch = ContractionHierarchy(sub)
+        points = sorted(medium_query.sources)
+        for s in points[:3]:
+            for t in points[-3:]:
+                want = sssp(medium_network, s, targets=[t]).dist[t]
+                assert ch.distance(back[s], back[t]) == \
+                    pytest.approx(want)

@@ -1,0 +1,96 @@
+"""Unit tests for the dense (array-based) PPSP engine."""
+
+import random
+
+import pytest
+
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dense import DensePPSPEngine
+from repro.shortestpath.dijkstra import sssp
+from repro.graph.network import RoadNetwork
+
+
+class TestCorrectness:
+    def test_grid_distance(self, grid5):
+        engine = DensePPSPEngine(grid5)
+        dist, path, expanded = engine.query(0, 24)
+        assert dist == pytest.approx(8.0)
+        assert path[0] == 0 and path[-1] == 24
+        assert expanded >= len(path)
+
+    def test_source_equals_target(self, grid5):
+        dist, path, _ = DensePPSPEngine(grid5).query(7, 7)
+        assert dist == 0.0 and path == [7]
+
+    def test_matches_lazy_astar_on_random_pairs(self, medium_network):
+        engine = DensePPSPEngine(medium_network)
+        rng = random.Random(3)
+        for _ in range(20):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            dist, path, _ = engine.query(s, t)
+            want = astar(medium_network, s, t)
+            assert dist == pytest.approx(want.distance)
+            assert path[0] == s and path[-1] == t
+
+    def test_no_path_raises(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ValueError):
+            DensePPSPEngine(net).query(0, 3)
+
+
+class TestReuseMode:
+    def test_reuse_matches_fresh_across_many_queries(self, medium_network):
+        """The generation-counter reuse must not leak state between
+        queries -- the classic dense-array bug this mode risks."""
+        fresh = DensePPSPEngine(medium_network, reuse_arrays=False)
+        reused = DensePPSPEngine(medium_network, reuse_arrays=True)
+        rng = random.Random(4)
+        for _ in range(30):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            d1, p1, _ = fresh.query(s, t)
+            d2, p2, _ = reused.query(s, t)
+            assert d1 == pytest.approx(d2)
+            assert p1[0] == p2[0] and p1[-1] == p2[-1]
+
+    def test_repeated_identical_queries(self, grid5):
+        engine = DensePPSPEngine(grid5, reuse_arrays=True)
+        for _ in range(5):
+            assert engine.query(0, 24)[0] == pytest.approx(8.0)
+
+    def test_path_weights_sum(self, medium_network):
+        engine = DensePPSPEngine(medium_network, reuse_arrays=True)
+        rng = random.Random(5)
+        for _ in range(10):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            dist, path, _ = engine.query(s, t)
+            total = sum(medium_network.edge_weight(a, b)
+                        for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(dist)
+
+
+class TestPaperCondition:
+    def test_initialisation_dominates_on_small_queries(self, medium_network):
+        """The Section VII-C mechanism: with per-query full
+        initialisation, the same tiny query is much cheaper on a small
+        extracted subgraph than on the full network."""
+        import time
+        tree = sssp(medium_network, 0, radius=4.0)
+        sub, mapping = medium_network.induced_subgraph(tree.dist)
+        back = {old: new for new, old in enumerate(mapping)}
+        targets = [v for v in tree.dist if v != 0][:5]
+
+        full_engine = DensePPSPEngine(medium_network)
+        sub_engine = DensePPSPEngine(sub)
+        started = time.perf_counter()
+        for t in targets * 20:
+            full_engine.query(0, t)
+        full_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        for t in targets * 20:
+            sub_engine.query(back[0], back[t])
+        sub_seconds = time.perf_counter() - started
+        assert sub_seconds < full_seconds

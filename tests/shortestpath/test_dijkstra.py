@@ -1,0 +1,147 @@
+"""Unit tests for the resumable Dijkstra search."""
+
+import math
+
+import pytest
+
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import DijkstraSearch, sssp
+
+
+class TestPathNetwork:
+    def test_distances_on_path(self, path_network):
+        tree = sssp(path_network, 0)
+        assert [tree.dist[v] for v in range(5)] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert tree.exhausted
+
+    def test_path_reconstruction(self, path_network):
+        tree = sssp(path_network, 0)
+        assert tree.path_to(4) == [0, 1, 2, 3, 4]
+        assert tree.path_to(0) == [0]
+
+    def test_reached(self, path_network):
+        tree = sssp(path_network, 0, targets=[2])
+        assert tree.reached(2)
+        assert not tree.reached(4)
+
+
+class TestGridDistances:
+    def test_manhattan_on_grid(self, grid5):
+        tree = sssp(grid5, 0)
+        for j in range(5):
+            for i in range(5):
+                assert tree.dist[j * 5 + i] == pytest.approx(i + j)
+
+    def test_bridge_shortcut_used(self, bridge_network):
+        u, v = 6, 13
+        tree = sssp(bridge_network, u)
+        assert tree.dist[v] == pytest.approx(2.4)
+        assert tree.path_to(v) == [u, v]
+
+
+class TestTermination:
+    def test_target_termination_stops_early(self, grid5):
+        tree = sssp(grid5, 0, targets=[1])
+        assert tree.reached(1)
+        # The far corner (distance 8) must not have been settled.
+        assert not tree.reached(24)
+
+    def test_radius_termination(self, grid5):
+        tree = sssp(grid5, 12, radius=2.0)  # centre of the grid
+        settled = set(tree.dist)
+        want = {v for v in grid5.vertices()
+                if abs(v % 5 - 2) + abs(v // 5 - 2) <= 2}
+        assert settled == want
+
+    def test_radius_zero(self, grid5):
+        tree = sssp(grid5, 7, radius=0.0)
+        assert set(tree.dist) == {7}
+
+    def test_targets_then_radius(self, grid5):
+        # BL-E's staging: settle targets, then push the radius further.
+        search = DijkstraSearch(grid5, 0)
+        assert search.run_until_settled([6])  # dist 2
+        assert search.dist[6] == pytest.approx(2.0)
+        search.run_until_beyond(4.0)
+        assert all(d <= 4.0 for d in search.dist.values())
+        assert 24 not in search.dist  # dist 8, beyond the radius
+
+    def test_unreachable_target_returns_false(self):
+        # Two components (built as one network with no connecting edge).
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        search = DijkstraSearch(net, 0)
+        assert not search.run_until_settled([3])
+
+
+class TestAllowedSet:
+    def test_restriction_forces_detour(self, grid5):
+        # Remove the straight row: path from 0 to 4 must go around.
+        allowed = set(grid5.vertices()) - {2}  # block (2, 0)
+        tree = sssp(grid5, 0, targets=[4], allowed=allowed)
+        assert tree.dist[4] == pytest.approx(6.0)  # up, across, down
+
+    def test_source_outside_allowed_rejected(self, grid5):
+        with pytest.raises(ValueError):
+            DijkstraSearch(grid5, 0, allowed={1, 2, 3})
+
+    def test_unreachable_within_allowed(self, grid5):
+        tree = sssp(grid5, 0, targets=[24], allowed={0, 1, 2})
+        assert not tree.reached(24)
+
+
+class TestSearchMechanics:
+    def test_next_key_peeks_without_advancing(self, path_network):
+        search = DijkstraSearch(path_network, 0)
+        search.settle_next()  # settles source
+        assert search.next_key() == pytest.approx(1.0)
+        assert len(search.dist) == 1  # peek did not settle
+
+    def test_settled_order_is_nondecreasing(self, grid5):
+        search = DijkstraSearch(grid5, 12)
+        search.run_to_exhaustion()
+        dists = [search.dist[v] for v in search.settled_order]
+        assert dists == sorted(dists)
+
+    def test_tentative_labels(self, path_network):
+        search = DijkstraSearch(path_network, 0)
+        search.settle_next()
+        assert search.tentative(1) == pytest.approx(1.0)  # frontier
+        assert search.tentative(4) is None                # unreached
+
+    def test_exhaustion(self, path_network):
+        search = DijkstraSearch(path_network, 0)
+        search.run_to_exhaustion()
+        assert search.is_exhausted()
+        assert search.settle_next() is None
+        assert search.expanded == 5
+
+    def test_distance_keyerror_for_unsettled(self, grid5):
+        tree = sssp(grid5, 0, targets=[1])
+        with pytest.raises(KeyError):
+            tree.distance(24)
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_on_random_graph(self):
+        import networkx as nx
+        import random
+        rng = random.Random(23)
+        coords = [(rng.uniform(0, 10), rng.uniform(0, 10))
+                  for _ in range(60)]
+        edges = []
+        for i in range(59):
+            edges.append((i, i + 1, rng.uniform(0.1, 2.0)))
+        for _ in range(80):
+            u, v = rng.randrange(60), rng.randrange(60)
+            if u != v:
+                edges.append((u, v, rng.uniform(0.1, 5.0)))
+        net = RoadNetwork(coords, edges)
+        g = nx.Graph()
+        for e in net.edges():
+            g.add_edge(e.u, e.v, weight=e.weight)
+        want = nx.single_source_dijkstra_path_length(g, 0)
+        tree = sssp(net, 0)
+        assert set(tree.dist) == set(want)
+        for v, d in want.items():
+            assert tree.dist[v] == pytest.approx(d)

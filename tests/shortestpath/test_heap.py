@@ -1,0 +1,122 @@
+"""Unit tests for the addressable binary heap."""
+
+import pytest
+
+from repro.shortestpath.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        heap = AddressableHeap()
+        assert len(heap) == 0
+        assert heap.min_key() is None
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_single(self):
+        heap = AddressableHeap()
+        heap.push(3.0, "a")
+        assert heap.peek() == (3.0, "a")
+        assert heap.pop() == (3.0, "a")
+        assert len(heap) == 0
+
+    def test_pop_order(self):
+        heap = AddressableHeap()
+        for key, item in [(5, "e"), (1, "a"), (3, "c"), (2, "b"), (4, "d")]:
+            heap.push(key, item)
+        out = [heap.pop()[1] for _ in range(5)]
+        assert out == ["a", "b", "c", "d", "e"]
+
+    def test_duplicate_push_rejected(self):
+        heap = AddressableHeap()
+        heap.push(1.0, "x")
+        with pytest.raises(KeyError):
+            heap.push(2.0, "x")
+
+    def test_membership_and_key_of(self):
+        heap = AddressableHeap()
+        heap.push(7.0, "x")
+        assert "x" in heap
+        assert "y" not in heap
+        assert heap.key_of("x") == 7.0
+        heap.pop()
+        assert "x" not in heap
+
+    def test_clear(self):
+        heap = AddressableHeap()
+        heap.push(1.0, "a")
+        heap.clear()
+        assert len(heap) == 0 and "a" not in heap
+
+
+class TestDecreaseKey:
+    def test_decrease_reorders(self):
+        heap = AddressableHeap()
+        heap.push(10.0, "slow")
+        heap.push(5.0, "fast")
+        heap.decrease_key(1.0, "slow")
+        assert heap.pop() == (1.0, "slow")
+
+    def test_decrease_to_equal_is_noop(self):
+        heap = AddressableHeap()
+        heap.push(5.0, "x")
+        heap.decrease_key(5.0, "x")
+        assert heap.key_of("x") == 5.0
+
+    def test_increase_rejected(self):
+        heap = AddressableHeap()
+        heap.push(5.0, "x")
+        with pytest.raises(ValueError):
+            heap.decrease_key(6.0, "x")
+
+    def test_decrease_missing_item(self):
+        heap = AddressableHeap()
+        with pytest.raises(KeyError):
+            heap.decrease_key(1.0, "ghost")
+
+    def test_push_or_decrease(self):
+        heap = AddressableHeap()
+        assert heap.push_or_decrease(5.0, "x") is True      # insert
+        assert heap.push_or_decrease(7.0, "x") is False     # worse key
+        assert heap.key_of("x") == 5.0
+        assert heap.push_or_decrease(2.0, "x") is True      # better key
+        assert heap.key_of("x") == 2.0
+
+
+class TestStress:
+    def test_heapsort_against_sorted(self):
+        import random
+        rng = random.Random(17)
+        keys = [rng.uniform(0, 1000) for _ in range(500)]
+        heap = AddressableHeap()
+        for i, k in enumerate(keys):
+            heap.push(k, i)
+        out = [heap.pop()[0] for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+    def test_interleaved_operations(self):
+        import random
+        rng = random.Random(5)
+        heap = AddressableHeap()
+        keys = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not keys:
+                item = f"i{step}"
+                key = rng.uniform(0, 100)
+                heap.push(key, item)
+                keys[item] = key
+            elif op < 0.75:
+                item = rng.choice(list(keys))
+                new = keys[item] * rng.random()
+                heap.decrease_key(new, item)
+                keys[item] = new
+            else:
+                key, item = heap.pop()
+                assert key == keys.pop(item)
+                assert key == min([key] + list(keys.values()))
+        while keys:
+            key, item = heap.pop()
+            assert keys.pop(item) == key

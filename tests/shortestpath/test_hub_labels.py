@@ -1,0 +1,93 @@
+"""Unit tests for the hub-label (2-hop) index."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.blq import bl_quality
+from repro.graph.network import RoadNetwork
+from repro.shortestpath.dijkstra import sssp
+from repro.shortestpath.hub_labels import HubLabelIndex
+
+
+@pytest.fixture(scope="module")
+def grid_labels(grid5):
+    return HubLabelIndex(grid5)
+
+
+class TestCorrectness:
+    def test_all_pairs_on_grid(self, grid5, grid_labels):
+        trees = {v: sssp(grid5, v) for v in grid5.vertices()}
+        for s in grid5.vertices():
+            for t in grid5.vertices():
+                assert grid_labels.distance(s, t) == \
+                    pytest.approx(trees[s].dist[t])
+
+    def test_self_distance(self, grid_labels):
+        assert grid_labels.distance(7, 7) == 0.0
+
+    def test_random_pairs_on_medium(self, medium_network):
+        index = HubLabelIndex(medium_network)
+        rng = random.Random(8)
+        for _ in range(40):
+            s = rng.randrange(medium_network.num_vertices)
+            t = rng.randrange(medium_network.num_vertices)
+            want = sssp(medium_network, s, targets=[t]).dist[t]
+            assert index.distance(s, t) == pytest.approx(want)
+
+    def test_disconnected_is_inf(self):
+        net = RoadNetwork([(0, 0), (1, 0), (5, 5), (6, 5)],
+                          [(0, 1, 1.0), (2, 3, 1.0)])
+        index = HubLabelIndex(net)
+        assert math.isinf(index.distance(0, 3))
+        assert index.distance(0, 1) == pytest.approx(1.0)
+
+    def test_any_order_is_correct(self, grid5):
+        rng = random.Random(9)
+        order = list(grid5.vertices())
+        rng.shuffle(order)
+        index = HubLabelIndex(grid5, order=order)
+        tree = sssp(grid5, 0)
+        for t in grid5.vertices():
+            assert index.distance(0, t) == pytest.approx(tree.dist[t])
+
+    def test_bad_order_rejected(self, grid5):
+        with pytest.raises(ValueError):
+            HubLabelIndex(grid5, order=[0, 1, 2])
+
+
+class TestPruning:
+    def test_labels_much_smaller_than_all_pairs(self, medium_network):
+        """The whole point of PLL: pruning keeps labels near the planar
+        O(√n) separator bound instead of the n of all-pairs tables."""
+        index = HubLabelIndex(medium_network)
+        n = medium_network.num_vertices
+        assert index.average_label_size() < 6 * math.sqrt(n)
+        assert index.total_label_entries() < 0.2 * n * n
+
+    def test_top_hub_labels_everyone(self, grid5, grid_labels):
+        # The first processed vertex prunes nothing: it appears in every
+        # (connected) vertex's label.
+        top = max(grid5.vertices(),
+                  key=lambda v: (grid5.degree(v), -v))
+        for v in grid5.vertices():
+            assert top in grid_labels.label_of(v)
+
+    def test_index_bytes(self, grid_labels):
+        assert grid_labels.index_bytes() == \
+            12 * grid_labels.total_label_entries()
+
+
+class TestOnDPS:
+    def test_index_on_extracted_dps(self, medium_network, medium_query):
+        dps = bl_quality(medium_network, medium_query)
+        sub, mapping = dps.extract(medium_network)
+        back = {old: new for new, old in enumerate(mapping)}
+        index = HubLabelIndex(sub)
+        points = sorted(medium_query.sources)
+        for s in points[:3]:
+            for t in points[-3:]:
+                want = sssp(medium_network, s, targets=[t]).dist[t]
+                assert index.distance(back[s], back[t]) == \
+                    pytest.approx(want)

@@ -1,0 +1,83 @@
+"""Unit tests for path reconstruction and vertex collection."""
+
+import pytest
+
+from repro.shortestpath.dijkstra import sssp
+from repro.shortestpath.paths import (
+    collect_path_vertices,
+    path_length,
+    reconstruct_path,
+)
+
+
+class TestReconstruct:
+    def test_simple_chain(self):
+        pred = {1: 0, 2: 1, 3: 2}
+        assert reconstruct_path(pred, 0, 3) == [0, 1, 2, 3]
+
+    def test_source_is_target(self):
+        assert reconstruct_path({}, 5, 5) == [5]
+
+    def test_unreachable_raises(self):
+        with pytest.raises(KeyError):
+            reconstruct_path({1: 0}, 0, 9)
+
+
+class TestCollect:
+    def test_collects_all_paths(self, grid5):
+        tree = sssp(grid5, 0)
+        targets = [4, 20, 24]
+        got = set()
+        collect_path_vertices(tree.pred, 0, targets, got)
+        for t in targets:
+            assert set(tree.path_to(t)) <= got
+        # Nothing beyond the union of the three predecessor chains.
+        want = set()
+        for t in targets:
+            want.update(tree.path_to(t))
+        assert got == want
+
+    def test_source_included(self, grid5):
+        tree = sssp(grid5, 0, targets=[24])
+        got = set()
+        collect_path_vertices(tree.pred, 0, [24], got)
+        assert 0 in got and 24 in got
+
+    def test_target_is_source(self, grid5):
+        tree = sssp(grid5, 0, targets=[0])
+        got = set()
+        collect_path_vertices(tree.pred, 0, [0], got)
+        assert got == {0}
+
+    def test_into_preseeded_set_does_not_shortcut(self, grid5):
+        """Vertices from another tree in ``into`` must not terminate this
+        tree's chain walks -- the per-call C-set semantics of III-A."""
+        tree = sssp(grid5, 0)
+        got = {12}  # pretend another round added the grid centre
+        collect_path_vertices(tree.pred, 0, [24], got)
+        # The full chain 0 → 24 must be present even though 12 (which lies
+        # on one shortest path) was already in the output set.
+        path = tree.path_to(24)
+        assert set(path) <= got
+
+    def test_missing_target_raises(self, grid5):
+        tree = sssp(grid5, 0, targets=[1])
+        with pytest.raises(KeyError):
+            collect_path_vertices(tree.pred, 0, [24], set())
+
+    def test_shared_prefix_visited_once(self, grid5):
+        # Collection over many targets touches each tree edge once; a
+        # cheap proxy: output size equals the union of chains exactly.
+        tree = sssp(grid5, 0)
+        targets = list(range(25))
+        got = set()
+        collect_path_vertices(tree.pred, 0, targets, got)
+        assert got == set(range(25))
+
+
+class TestPathLength:
+    def test_sums_edge_weights(self, grid5):
+        assert path_length(grid5, [0, 1, 2, 7]) == pytest.approx(3.0)
+
+    def test_single_vertex_path(self, grid5):
+        assert path_length(grid5, [3]) == 0.0

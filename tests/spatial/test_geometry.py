@@ -1,0 +1,141 @@
+"""Unit tests for the planar geometry kernel."""
+
+import math
+
+import pytest
+
+from repro.spatial.geometry import (
+    Point,
+    angle_from_east,
+    clockwise_angle,
+    cross,
+    dot,
+    euclidean,
+    midpoint,
+    on_segment,
+    orientation,
+    segment_intersection_point,
+    segments_cross_properly,
+    segments_intersect,
+)
+
+
+class TestBasics:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_euclidean_is_symmetric(self):
+        assert euclidean((1, 2), (4, 6)) == euclidean((4, 6), (1, 2))
+
+    def test_dot_and_cross(self):
+        assert dot((1, 2), (3, 4)) == 11
+        assert cross((1, 0), (0, 1)) == 1
+        assert cross((0, 1), (1, 0)) == -1
+
+    def test_point_is_a_tuple(self):
+        p = Point(1.5, 2.5)
+        assert p == (1.5, 2.5)
+        assert p.x == 1.5 and p.y == 2.5
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1, 2)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_near_collinear_within_eps(self):
+        assert orientation((0, 0), (1, 0), (2, 1e-12)) == 0
+
+    def test_on_segment_interior(self):
+        assert on_segment((0.5, 0.5), (0, 0), (1, 1))
+
+    def test_on_segment_endpoint(self):
+        assert on_segment((1, 1), (0, 0), (1, 1))
+
+    def test_off_segment_collinear_beyond(self):
+        assert not on_segment((2, 2), (0, 0), (1, 1))
+
+    def test_off_segment_not_collinear(self):
+        assert not on_segment((0.5, 0.6), (0, 0), (1, 1))
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+        assert segments_cross_properly((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_shared_endpoint_is_not_proper(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+        assert not segments_cross_properly((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction_is_not_proper(self):
+        # One segment's endpoint lies in the other's interior.
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (1, 1))
+        assert not segments_cross_properly((0, 0), (2, 0), (1, 0), (1, 1))
+
+    def test_collinear_overlap_is_not_proper(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+        assert not segments_cross_properly((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+        assert not segments_cross_properly((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect((0, 0), (1, 1), (0, 1), (1, 2))
+
+    def test_intersection_point_of_crossing(self):
+        p = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p is not None
+        assert math.isclose(p.x, 1.0) and math.isclose(p.y, 1.0)
+
+    def test_intersection_point_none_for_disjoint(self):
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_intersection_point_none_for_collinear(self):
+        assert segment_intersection_point((0, 0), (2, 0), (1, 0), (3, 0)) is None
+
+    def test_intersection_point_at_endpoint(self):
+        p = segment_intersection_point((0, 0), (1, 1), (1, 1), (2, 0))
+        assert p is not None
+        assert math.isclose(p.x, 1.0) and math.isclose(p.y, 1.0)
+
+
+class TestClockwiseAngle:
+    def test_quarter_turn(self):
+        # Ray to prev points west; rotating it clockwise (with y up:
+        # west → north → east → south) reaches north after 90°.
+        angle = clockwise_angle((-1, 0), (0, 0), (0, 1))
+        assert math.isclose(angle, math.pi / 2)
+
+    def test_straight_through(self):
+        angle = clockwise_angle((-1, 0), (0, 0), (1, 0))
+        assert math.isclose(angle, math.pi)
+
+    def test_three_quarter_turn(self):
+        angle = clockwise_angle((-1, 0), (0, 0), (0, -1))
+        assert math.isclose(angle, 3 * math.pi / 2)
+
+    def test_full_retrace(self):
+        angle = clockwise_angle((-1, 0), (0, 0), (-2, 0))
+        assert math.isclose(angle, 2 * math.pi)
+
+    def test_range_is_half_open(self):
+        for target in [(1, 1), (1, -1), (-1, 1), (-1, -1)]:
+            angle = clockwise_angle((-1, 0), (0, 0), target)
+            assert 0.0 < angle <= 2 * math.pi
+
+    def test_angle_from_east(self):
+        assert math.isclose(angle_from_east((0, 0), (1, 0)), 0.0)
+        assert math.isclose(angle_from_east((0, 0), (0, 1)), math.pi / 2)
+        assert math.isclose(angle_from_east((0, 0), (-1, 0)), math.pi)
+        assert math.isclose(angle_from_east((0, 0), (0, -1)),
+                            3 * math.pi / 2)

@@ -1,0 +1,81 @@
+"""Unit tests for the monotone chain convex hull."""
+
+import math
+
+import pytest
+
+from repro.spatial.hull import convex_hull, point_in_convex_polygon
+from repro.spatial.polygon import polygon_signed_area
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2), (1, 3)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (4, 0), (4, 4), (0, 4)}
+
+    def test_ccw_orientation(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        assert polygon_signed_area(hull) > 0
+
+    def test_collinear_points_dropped_from_edges(self):
+        hull = convex_hull([(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)])
+        assert (2, 0) not in hull
+        assert len(hull) == 4
+
+    def test_all_collinear(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert hull == [(0, 0), (3, 3)]
+
+    def test_single_point(self):
+        assert convex_hull([(5, 5)]) == [(5, 5)]
+
+    def test_duplicates_collapse(self):
+        assert convex_hull([(1, 1), (1, 1), (1, 1)]) == [(1, 1)]
+
+    def test_two_points(self):
+        assert convex_hull([(0, 0), (2, 3)]) == [(0, 0), (2, 3)]
+
+    def test_circle_points_all_on_hull(self):
+        pts = [(math.cos(2 * math.pi * k / 12),
+                math.sin(2 * math.pi * k / 12)) for k in range(12)]
+        hull = convex_hull(pts)
+        assert len(hull) == 12
+
+    def test_hull_contains_all_inputs(self):
+        import random
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(100)]
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_convex_polygon(p, hull)
+
+
+class TestPointInConvexPolygon:
+    HULL = [(0, 0), (4, 0), (4, 4), (0, 4)]
+
+    def test_inside(self):
+        assert point_in_convex_polygon((2, 2), self.HULL)
+
+    def test_outside(self):
+        assert not point_in_convex_polygon((5, 2), self.HULL)
+
+    def test_on_boundary_included(self):
+        assert point_in_convex_polygon((4, 2), self.HULL)
+
+    def test_on_boundary_excluded(self):
+        assert not point_in_convex_polygon((4, 2), self.HULL,
+                                           include_boundary=False)
+
+    def test_collinear_with_edge_but_beyond(self):
+        assert not point_in_convex_polygon((6, 0), self.HULL)
+        assert not point_in_convex_polygon((-1, 0), self.HULL)
+
+    def test_degenerate_hulls(self):
+        assert point_in_convex_polygon((1, 1), [(1, 1)])
+        assert not point_in_convex_polygon((1, 2), [(1, 1)])
+        assert point_in_convex_polygon((1, 1), [(0, 0), (2, 2)])
+        assert not point_in_convex_polygon((1, 0), [(0, 0), (2, 2)])
+
+    def test_empty_hull(self):
+        assert not point_in_convex_polygon((0, 0), [])

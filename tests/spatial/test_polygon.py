@@ -1,0 +1,93 @@
+"""Unit tests for simple-polygon predicates (ray casting)."""
+
+import pytest
+
+from repro.spatial.polygon import (
+    chain_to_polygon,
+    point_in_polygon,
+    point_on_polygon_boundary,
+    polygon_signed_area,
+)
+
+SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4)]
+# An L-shaped (concave) polygon.
+ELL = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]
+
+
+class TestSignedArea:
+    def test_ccw_positive(self):
+        assert polygon_signed_area(SQUARE) == 16.0
+
+    def test_cw_negative(self):
+        assert polygon_signed_area(SQUARE[::-1]) == -16.0
+
+    def test_concave(self):
+        assert polygon_signed_area(ELL) == 12.0
+
+
+class TestPointInPolygon:
+    def test_strictly_inside(self):
+        assert point_in_polygon((2, 2), SQUARE)
+
+    def test_strictly_outside(self):
+        assert not point_in_polygon((5, 2), SQUARE)
+        assert not point_in_polygon((-1, 2), SQUARE)
+
+    def test_boundary_included_by_default(self):
+        assert point_in_polygon((4, 2), SQUARE)
+        assert point_in_polygon((0, 0), SQUARE)
+
+    def test_boundary_excluded_on_request(self):
+        assert not point_in_polygon((4, 2), SQUARE, include_boundary=False)
+
+    def test_concave_notch_outside(self):
+        # (3, 3) sits in the notch of the L: outside.
+        assert not point_in_polygon((3, 3), ELL)
+        assert point_in_polygon((1, 3), ELL)
+        assert point_in_polygon((3, 1), ELL)
+
+    def test_ray_through_vertex(self):
+        # The +x ray from (0, 2) of a diamond passes exactly through the
+        # right vertex (2, 2)... choose a diamond where the horizontal ray
+        # hits a polygon vertex: classic ray-casting degeneracy.
+        diamond = [(2, 0), (4, 2), (2, 4), (0, 2)]
+        assert point_in_polygon((1.0, 2.0), diamond)
+        assert not point_in_polygon((5.0, 2.0), diamond)
+        assert not point_in_polygon((-1.0, 2.0), diamond)
+
+    def test_degenerate_spur_contributes_nothing(self):
+        # Square with a zero-width spur (the ⟨a,b,c,b,a⟩ contour case).
+        spur = [(0, 0), (4, 0), (4, 4), (2, 4), (2, 6), (2, 4), (0, 4)]
+        assert point_in_polygon((1, 1), spur)
+        assert not point_in_polygon((3, 5), spur)
+        assert point_in_polygon((2, 5), spur)  # on the spur: boundary
+
+    def test_tiny_polygon(self):
+        assert point_in_polygon((0, 0), [(0, 0), (1, 0)])
+        assert not point_in_polygon((5, 5), [(0, 0), (1, 0)])
+
+
+class TestBoundary:
+    def test_on_edge(self):
+        assert point_on_polygon_boundary((2, 0), SQUARE)
+
+    def test_on_vertex(self):
+        assert point_on_polygon_boundary((4, 4), SQUARE)
+
+    def test_interior_not_boundary(self):
+        assert not point_on_polygon_boundary((2, 2), SQUARE)
+
+
+class TestChainToPolygon:
+    def test_joins_chains_dropping_duplicates(self):
+        ring = chain_to_polygon([(0, 0), (1, 0)], [(1, 0), (1, 1)],
+                                [(1, 1), (0, 0)])
+        assert ring == [(0, 0), (1, 0), (1, 1)]
+
+    def test_keeps_non_adjacent_duplicates(self):
+        # A genuine revisit (spur) inside one chain is preserved.
+        ring = chain_to_polygon([(0, 0), (1, 0), (2, 0), (1, 0), (0, 1)])
+        assert ring == [(0, 0), (1, 0), (2, 0), (1, 0), (0, 1)]
+
+    def test_empty_chains(self):
+        assert chain_to_polygon([], [(0, 0)], []) == [(0, 0)]

@@ -1,0 +1,103 @@
+"""Unit tests for rectangles and MBRs."""
+
+import math
+
+import pytest
+
+from repro.spatial.rect import Rect, union_all
+
+
+class TestConstruction:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_point_rect_allowed(self):
+        r = Rect(1.0, 2.0, 1.0, 2.0)
+        assert r.area == 0.0
+        assert r.contains_point((1.0, 2.0))
+
+    def test_from_points(self):
+        r = Rect.from_points([(1, 5), (-2, 3), (4, -1)])
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (-2, -1, 4, 5)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_segment(self):
+        r = Rect.from_segment((3, 1), (0, 4))
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (0, 1, 3, 4)
+
+    def test_from_center(self):
+        r = Rect.from_center((1, 1), 2, 4)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (0, -1, 2, 3)
+
+    def test_from_center_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center((0, 0), -1, 1)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point((0, 1))
+        assert r.contains_point((2, 2))
+        assert not r.contains_point((2.001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersects_overlap(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+
+class TestDerived:
+    def test_center_and_dims(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.center() == (2, 1)
+        assert r.width == 4 and r.height == 2 and r.area == 8
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, -1, 3, 0.5))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, -1, 3, 1)
+
+    def test_union_all(self):
+        u = union_all([Rect(0, 0, 1, 1), Rect(-1, 2, 0, 3),
+                       Rect(0.5, 0.5, 2, 0.7)])
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (-1, 0, 2, 3)
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+    def test_expanded(self):
+        r = Rect(0, 0, 1, 1).expanded(0.5)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (-0.5, -0.5, 1.5, 1.5)
+
+
+class TestMinDist:
+    def test_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).min_dist2_to_point((1, 1)) == 0.0
+
+    def test_beside(self):
+        assert Rect(0, 0, 2, 2).min_dist2_to_point((5, 1)) == 9.0
+
+    def test_above(self):
+        assert Rect(0, 0, 2, 2).min_dist2_to_point((1, 4)) == 4.0
+
+    def test_corner(self):
+        d2 = Rect(0, 0, 2, 2).min_dist2_to_point((5, 6))
+        assert math.isclose(d2, 9 + 16)
+
+    def test_boundary_is_zero(self):
+        assert Rect(0, 0, 2, 2).min_dist2_to_point((2, 1)) == 0.0

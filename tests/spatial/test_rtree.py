@@ -1,0 +1,144 @@
+"""Unit tests for the STR bulk-loaded R-tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import PointRTree, RTree, SegmentRTree
+
+
+def _grid_points(n):
+    return [(f"p{i}", (i % n, i // n)) for i in range(n * n)]
+
+
+class TestRTreeStructure:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.bounds is None
+        assert list(tree.search(Rect(0, 0, 1, 1))) == []
+        assert tree.nearest((0, 0)) == []
+
+    def test_single_entry(self):
+        tree = RTree([(Rect(1, 1, 2, 2), "a")])
+        assert len(tree) == 1
+        assert tree.bounds == Rect(1, 1, 2, 2)
+        assert tree.height() == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree([], node_capacity=1)
+
+    def test_height_grows_logarithmically(self):
+        entries = [(Rect(i, 0, i, 0), i) for i in range(1000)]
+        tree = RTree(entries, node_capacity=10)
+        # 1000 entries, capacity 10: 100 leaves, 10 internals, 1 root.
+        assert tree.height() == 3
+
+    def test_bounds_covers_all(self):
+        entries = [(Rect(i, -i, i + 1, -i + 2), i) for i in range(50)]
+        tree = RTree(entries)
+        for rect, _ in entries:
+            assert tree.bounds.contains_rect(rect)
+
+
+class TestRTreeSearch:
+    def test_search_matches_linear_scan(self):
+        rng = random.Random(42)
+        entries = []
+        for i in range(400):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            entries.append((Rect(x, y, x + rng.uniform(0, 3),
+                                 y + rng.uniform(0, 3)), i))
+        tree = RTree(entries, node_capacity=8)
+        for _ in range(25):
+            w = Rect(rng.uniform(0, 90), rng.uniform(0, 90), 100, 100)
+            window = Rect(w.xmin, w.ymin,
+                          w.xmin + rng.uniform(1, 15),
+                          w.ymin + rng.uniform(1, 15))
+            got = {item for _, item in tree.search(window)}
+            want = {i for rect, i in entries if rect.intersects(window)}
+            assert got == want
+
+    def test_search_disjoint_window(self):
+        tree = RTree([(Rect(0, 0, 1, 1), "a")])
+        assert list(tree.search(Rect(5, 5, 6, 6))) == []
+
+
+class TestNearest:
+    def test_nearest_matches_linear_scan(self):
+        rng = random.Random(7)
+        points = [(rng.uniform(0, 50), rng.uniform(0, 50))
+                  for _ in range(300)]
+        tree = PointRTree(list(enumerate(points)), node_capacity=8)
+        for _ in range(20):
+            q = (rng.uniform(-5, 55), rng.uniform(-5, 55))
+            got = tree.nearest_one(q)
+            want = min(range(len(points)),
+                       key=lambda i: math.dist(points[i], q))
+            assert math.isclose(math.dist(points[got], q),
+                                math.dist(points[want], q))
+
+    def test_nearest_k_ordering(self):
+        points = [(float(i), 0.0) for i in range(10)]
+        tree = PointRTree(list(enumerate(points)))
+        hits = tree.nearest((3.2, 0.0), k=3)
+        assert [item for _, item in hits] == [3, 4, 2]
+        distances = [d for d, _ in hits]
+        assert distances == sorted(distances)
+
+    def test_nearest_k_larger_than_size(self):
+        tree = PointRTree([(0, (0, 0)), (1, (1, 0))])
+        assert len(tree.nearest((0, 0), k=10)) == 2
+
+    def test_nearest_one_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointRTree([]).nearest_one((0, 0))
+
+
+class TestPointRTree:
+    def test_in_window(self):
+        tree = PointRTree(_grid_points(10))
+        hits = set(tree.in_window(Rect(0, 0, 2, 1)))
+        want = {f"p{i}" for i in range(100)
+                if (i % 10) <= 2 and (i // 10) <= 1}
+        assert hits == want
+
+
+class TestSegmentRTree:
+    def test_intersecting_proper_vs_touching(self):
+        segments = [
+            ("cross", ((0, 0), (2, 2))),
+            ("touch", ((1, 1), (3, 0))),   # shares point (1,1) with probe
+            ("far", ((10, 10), (11, 11))),
+        ]
+        tree = SegmentRTree(segments)
+        probe = ((0, 2), (2, 0))  # crosses "cross" at (1,1)
+        loose = set(tree.intersecting(*probe))
+        strict = set(tree.intersecting(*probe, proper=True))
+        assert "cross" in loose and "touch" in loose and "far" not in loose
+        assert strict == {"cross"}
+
+    def test_segment_lookup(self):
+        tree = SegmentRTree([("e", ((0, 0), (1, 2)))])
+        a, b = tree.segment("e")
+        assert (a.x, a.y) == (0, 0) and (b.x, b.y) == (1, 2)
+
+    def test_matches_linear_scan(self):
+        rng = random.Random(99)
+        segments = []
+        for i in range(200):
+            x, y = rng.uniform(0, 40), rng.uniform(0, 40)
+            segments.append((i, ((x, y), (x + rng.uniform(-4, 4),
+                                          y + rng.uniform(-4, 4)))))
+        tree = SegmentRTree(segments)
+        from repro.spatial.geometry import segments_cross_properly
+        for _ in range(20):
+            a = (rng.uniform(0, 40), rng.uniform(0, 40))
+            b = (a[0] + rng.uniform(-8, 8), a[1] + rng.uniform(-8, 8))
+            got = set(tree.intersecting(a, b, proper=True))
+            want = {i for i, (c, d) in segments
+                    if segments_cross_properly(a, b, c, d)}
+            assert got == want

@@ -1,0 +1,127 @@
+"""End-to-end tests for the command-line interface (in-process via
+``repro.cli.main`` for speed; one smoke test through ``python -m``)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_dimacs
+
+
+@pytest.fixture()
+def generated_map(tmp_path):
+    prefix = tmp_path / "map"
+    code = main(["generate", "--kind", "grid", "--columns", "18",
+                 "--rows", "16", "--bridges", "4", "--seed", "3",
+                 "--out", str(prefix)])
+    assert code == 0
+    return prefix
+
+
+class TestGenerate:
+    def test_writes_readable_dimacs(self, generated_map):
+        net = read_dimacs(f"{generated_map}.gr", f"{generated_map}.co")
+        assert net.num_vertices > 200
+        assert net.num_edges > net.num_vertices
+
+    def test_kinds(self, tmp_path):
+        for kind in ("ring", "multi-city"):
+            prefix = tmp_path / kind
+            assert main(["generate", "--kind", kind, "--columns", "8",
+                         "--rows", "8", "--out", str(prefix)]) == 0
+            net = read_dimacs(f"{prefix}.gr", f"{prefix}.co")
+            assert net.num_vertices > 0
+
+
+class TestStats:
+    def test_valid_network(self, generated_map, capsys):
+        code = main(["stats", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "model:       OK" in out
+
+    def test_broken_network_flagged(self, tmp_path, capsys):
+        (tmp_path / "bad.gr").write_text("p sp 3 2\na 1 2 1\na 2 1 1\n")
+        (tmp_path / "bad.co").write_text(
+            "v 1 0 0\nv 2 1 0\nv 3 9 9\n")  # vertex 3 isolated
+        code = main(["stats", "--graph", str(tmp_path / "bad.gr"),
+                     "--coords", str(tmp_path / "bad.co")])
+        assert code == 1
+        assert "not connected" in capsys.readouterr().out
+
+
+class TestBuildAndQuery:
+    @pytest.fixture()
+    def built_index(self, generated_map, tmp_path):
+        out = tmp_path / "map.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "6", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_roadpart_query_with_verify_and_output(self, generated_map,
+                                                   built_index, tmp_path):
+        out = tmp_path / "region"
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart", "--epsilon", "0.3",
+                     "--seed", "1", "--refine", "--verify",
+                     "--out", str(out)])
+        assert code == 0
+        subgraph = read_dimacs(f"{out}.gr", f"{out}.co")
+        mapping = json.loads((tmp_path / "region.vertices").read_text())
+        assert subgraph.num_vertices == len(mapping)
+        assert subgraph.num_vertices > 0
+
+    def test_all_algorithms_run(self, generated_map, built_index):
+        for algorithm in ("blq", "ble", "hull", "roadpart"):
+            argv = ["query", "--graph", f"{generated_map}.gr",
+                    "--coords", f"{generated_map}.co",
+                    "--algorithm", algorithm, "--epsilon", "0.25",
+                    "--verify"]
+            if algorithm == "roadpart":
+                argv += ["--index", str(built_index)]
+            assert main(argv) == 0, algorithm
+
+    def test_explicit_vertex_query(self, generated_map, built_index):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--vertices", "0,5,17", "--verify"])
+        assert code == 0
+
+    def test_roadpart_requires_index(self, generated_map, capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--algorithm", "roadpart"])
+        assert code == 2
+        assert "--index" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "--kind", "grid",
+             "--columns", "6", "--rows", "6",
+             "--out", str(tmp_path / "mini")],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "mini.gr").exists()
+
+
+class TestContourOptions:
+    def test_hull_contour_build(self, generated_map, tmp_path, capsys):
+        out = tmp_path / "hull.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "5", "--contour", "hull",
+                     "--out", str(out)])
+        assert code == 0
+        assert "contour=hull" in capsys.readouterr().out
+        assert out.exists()

@@ -1,0 +1,28 @@
+"""Smoke tests: the fast examples must run end to end (their internal
+assertions double as integration checks).  The two examples that build
+the USA-S/COL-S catalog stand-ins are exercised by the benchmarks
+instead, to keep the unit suite quick."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> None:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", ["quickstart", "logistics_planning",
+                                  "meeting_planner"])
+def test_example_runs(name, capsys):
+    _run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
