@@ -4,6 +4,12 @@ Runs each experiment at full stand-in scale and writes the rendered
 tables to ``reports/`` (the same files the pytest benchmarks emit),
 printing them as it goes.  Takes a minute or two; pass experiment names
 to run a subset, e.g. ``python -m repro.bench table1 fig11``.
+
+``--small`` shrinks the workloads (one dataset, two sweep points) for a
+CI smoke run.  ``table2`` and ``fig10`` additionally write the
+machine-readable baselines ``BENCH_table2.json`` / ``BENCH_fig10.json``
+(schema ``repro-bench-v1``) to the repository root -- see
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -12,9 +18,13 @@ import pathlib
 import sys
 from typing import Callable, Dict, List
 
-from repro.bench.reporting import render_series, render_table
+from repro.bench.reporting import render_series, render_table, write_bench_json
 
-REPORT_DIR = pathlib.Path(__file__).resolve().parents[3] / "reports"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+REPORT_DIR = REPO_ROOT / "reports"
+
+#: Timing repeats per query in the JSON baselines (median + p95).
+BASELINE_REPEATS = 3
 
 
 def _emit(name: str, text: str) -> None:
@@ -24,7 +34,13 @@ def _emit(name: str, text: str) -> None:
     print(text)
 
 
-def _run_table1() -> None:
+def _emit_json(name: str, rows) -> None:
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    write_bench_json(path, rows)
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def _run_table1(small: bool = False) -> None:
     from repro.bench.experiments.table1 import as_table, run_table1
     headers, cells = as_table(run_table1())
     _emit("table1", render_table(
@@ -32,30 +48,66 @@ def _run_table1() -> None:
         cells))
 
 
-def _run_fig10() -> None:
+def _run_fig10(small: bool = False) -> None:
     from repro.bench.experiments.fig10 import run_fig10
-    points = run_fig10()
+    from repro.bench.metrics import AlgorithmMeasure, bench_row
+    from repro.bench.workloads import FIG10_BORDER_COUNTS, FIG10_DATASET
+    counts = FIG10_BORDER_COUNTS[:2] if small else None
+    points = run_fig10(border_counts=counts)
     _emit("fig10", render_series(
         "Figure 10 -- effect of l on partitioning (EAST-S)", "l",
         {"partition time (s)": [p.partition_seconds for p in points],
          "|R|": [p.region_count for p in points],
          "max region M": [p.max_region_size for p in points]},
         [p.border_count for p in points]))
+    # In the baseline rows an index build "query" reports the partition
+    # time, and dps_size carries |R| (the build's output size).
+    rows = []
+    for p in points:
+        measure = AlgorithmMeasure("RoadPart-build", p.partition_seconds,
+                                   p.region_count)
+        rows.append(bench_row("fig10", FIG10_DATASET, measure,
+                              border_count=p.border_count,
+                              max_region_size=p.max_region_size))
+    _emit_json("fig10", rows)
 
 
-def _run_table2() -> None:
+def _run_table2(small: bool = False) -> None:
     from repro.bench.experiments.table2 import as_table, run_qdps, run_stdps
-    for dataset in ("USA-S", "EAST-S", "COL-S"):
-        headers, cells = as_table(run_qdps(dataset), symmetric=True)
+    from repro.bench.metrics import bench_row
+    from repro.bench.workloads import QDPS_EPSILONS
+    json_rows = []
+    datasets = ("COL-S",) if small else ("USA-S", "EAST-S", "COL-S")
+    for dataset in datasets:
+        epsilons = QDPS_EPSILONS[dataset][:2] if small else None
+        rows = run_qdps(dataset, epsilons=epsilons,
+                        repeats=BASELINE_REPEATS)
+        headers, cells = as_table(rows, symmetric=True)
         _emit(f"table2_qdps_{dataset}", render_table(
             f"Table II -- Q-DPS queries on {dataset}", headers, cells))
-    headers, cells = as_table(run_stdps(), symmetric=False)
+        for row in rows:
+            for measure in row.measures.values():
+                json_rows.append(bench_row(
+                    "table2-qdps", dataset, measure, epsilon=row.epsilon,
+                    query_size=row.query_size))
+    st_primes = [0.04] if small else None
+    st_rows = run_stdps(epsilon_primes=st_primes,
+                        repeats=BASELINE_REPEATS)
+    headers, cells = as_table(st_rows, symmetric=False)
     _emit("table2_stdps", render_table(
         "Table II -- (S,T)-DPS queries on USA-S (eps=4%)", headers,
         cells))
+    for row in st_rows:
+        for measure in row.measures.values():
+            json_rows.append(bench_row(
+                "table2-stdps", row.dataset, measure, epsilon=row.epsilon,
+                epsilon_prime=row.epsilon_prime,
+                source_count=row.source_count,
+                target_count=row.target_count))
+    _emit_json("table2", json_rows)
 
 
-def _run_fig11() -> None:
+def _run_fig11(small: bool = False) -> None:
     from repro.bench.experiments.fig11 import run_fig11
     for dataset in ("USA-S", "EAST-S"):
         series = run_fig11(dataset)
@@ -66,7 +118,7 @@ def _run_fig11() -> None:
             [f"{e:.0%}" for e in series.epsilons]))
 
 
-def _run_sec7c() -> None:
+def _run_sec7c(small: bool = False) -> None:
     from repro.bench.experiments.sec7c import run_sec7c
     rows = run_sec7c()
     cells = []
@@ -83,7 +135,7 @@ def _run_sec7c() -> None:
          "lazy A* (s)", "expanded (lazy)"], cells))
 
 
-def _run_ablations() -> None:
+def _run_ablations(small: bool = False) -> None:
     from repro.bench.experiments.ablations import (
         run_bridge_pruning,
         run_partitioning_choices,
@@ -110,7 +162,7 @@ def _run_ablations() -> None:
           r.max_region_size, r.dps_size] for r in rows]))
 
 
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "table1": _run_table1,
     "fig10": _run_fig10,
     "table2": _run_table2,
@@ -121,14 +173,16 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 
 
 def main(argv: List[str]) -> int:
-    names = argv or list(EXPERIMENTS)
+    small = "--small" in argv
+    names = [a for a in argv if a != "--small"]
+    names = names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown};"
               f" available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
     for name in names:
-        EXPERIMENTS[name]()
+        EXPERIMENTS[name](small=small)
     return 0
 
 

@@ -3,18 +3,19 @@ four-algorithm sweep over one query."""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.bench.metrics import AlgorithmMeasure
+from repro.bench.metrics import AlgorithmMeasure, median
 from repro.bench.timing import timed
 from repro.core.ble import bl_efficiency
 from repro.core.blq import bl_quality
-from repro.core.dps import DPSQuery
+from repro.core.dps import DPSQuery, DPSResult
 from repro.core.hull import convex_hull_dps
 from repro.core.roadpart.index import RoadPartIndex, build_index
 from repro.core.roadpart.query import roadpart_dps
 from repro.datasets.catalog import DATASETS, load_dataset
 from repro.graph.network import RoadNetwork
+from repro.obs.stats import QueryStats
 
 _index_cache: Dict[Tuple[str, int], RoadPartIndex] = {}
 
@@ -45,29 +46,50 @@ def dataset_index(name: str, border_count: Optional[int] = None,
     return _index_cache[key]
 
 
+def _measure(run: Callable[[Optional[QueryStats]], DPSResult],
+             repeats: int) -> Tuple[AlgorithmMeasure, DPSResult]:
+    """Time ``run`` ``repeats`` times; the first run carries a
+    :class:`QueryStats` to harvest operation counters (the algorithms are
+    deterministic, so one instrumented run represents them all, and the
+    near-zero overhead of the counters keeps its timing comparable)."""
+    stats = QueryStats()
+    result, seconds = timed(lambda: run(stats))
+    samples = [seconds]
+    for _ in range(repeats - 1):
+        _, seconds = timed(lambda: run(None))
+        samples.append(seconds)
+    measure = AlgorithmMeasure.from_result(result, median(samples))
+    measure.samples = samples
+    measure.counters = stats.counters.as_dict()
+    return measure, result
+
+
 def run_four_algorithms(network: RoadNetwork, index: RoadPartIndex,
                         query: DPSQuery,
                         hull_on_dps: bool = True,
+                        repeats: int = 1,
                         ) -> Dict[str, AlgorithmMeasure]:
     """Run BL-E, RoadPart, the convex hull method and BL-Q on one query,
     in the paper's Table II column order.
 
     With ``hull_on_dps`` the hull method also runs refined on the
     RoadPart DPS; its time lands in the ``hull_on_dps_seconds`` extra
-    (the parenthesised time of Table II).
+    (the parenthesised time of Table II).  ``repeats`` times each
+    algorithm that many times; the headline ``seconds`` is then the
+    median and every sample lands in ``AlgorithmMeasure.samples``.
     """
     measures: Dict[str, AlgorithmMeasure] = {}
-    ble, seconds = timed(lambda: bl_efficiency(network, query))
-    measures["BL-E"] = AlgorithmMeasure.from_result(ble, seconds)
-    rp, seconds = timed(lambda: roadpart_dps(index, query))
-    measures["RoadPart"] = AlgorithmMeasure.from_result(rp, seconds)
-    hull, seconds = timed(lambda: convex_hull_dps(network, query))
-    hull_measure = AlgorithmMeasure.from_result(hull, seconds)
+    measures["BL-E"], _ = _measure(
+        lambda s: bl_efficiency(network, query, stats=s), repeats)
+    measures["RoadPart"], rp = _measure(
+        lambda s: roadpart_dps(index, query, stats=s), repeats)
+    hull_measure, _ = _measure(
+        lambda s: convex_hull_dps(network, query, stats=s), repeats)
     if hull_on_dps:
         _, refined_seconds = timed(
             lambda: convex_hull_dps(network, query, base=rp))
         hull_measure.extras["hull_on_dps_seconds"] = refined_seconds
     measures["Hull"] = hull_measure
-    blq, seconds = timed(lambda: bl_quality(network, query))
-    measures["BL-Q"] = AlgorithmMeasure.from_result(blq, seconds)
+    measures["BL-Q"], _ = _measure(
+        lambda s: bl_quality(network, query, stats=s), repeats)
     return measures

@@ -17,8 +17,8 @@ from repro.bench.metrics import AlgorithmMeasure
 from repro.bench.workloads import (
     STDPS_DATASET,
     STDPS_EPSILON,
-    STDPS_EPSILON_PRIMES,
     qdps_points,
+    stdps_points,
 )
 from repro.bench.experiments.common import (
     dataset_index,
@@ -44,7 +44,8 @@ class Table2Row:
 
 
 def run_qdps(dataset: str,
-             epsilons: Optional[List[float]] = None) -> List[Table2Row]:
+             epsilons: Optional[List[float]] = None,
+             repeats: int = 1) -> List[Table2Row]:
     """Run the Table II Q-DPS block for one dataset."""
     network = dataset_network(dataset)
     index = dataset_index(dataset)
@@ -54,7 +55,8 @@ def run_qdps(dataset: str,
             continue
         q = window_query(network, point.epsilon, seed=point.seed)
         query = DPSQuery.q_query(q)
-        measures = run_four_algorithms(network, index, query)
+        measures = run_four_algorithms(network, index, query,
+                                       repeats=repeats)
         rows.append(Table2Row(dataset, point.epsilon, None,
                               len(q), len(q), measures))
     return rows
@@ -63,16 +65,18 @@ def run_qdps(dataset: str,
 def run_stdps(dataset: str = STDPS_DATASET,
               epsilon: float = STDPS_EPSILON,
               epsilon_primes: Optional[List[float]] = None,
-              ) -> List[Table2Row]:
+              repeats: int = 1) -> List[Table2Row]:
     """Run the Table II (S, T)-DPS block."""
     network = dataset_network(dataset)
     index = dataset_index(dataset)
     rows: List[Table2Row] = []
-    for i, eps_prime in enumerate(epsilon_primes or STDPS_EPSILON_PRIMES):
-        s, t = st_query(network, epsilon, eps_prime, seed=8_100 + i)
+    for point in stdps_points(dataset, epsilon, epsilon_primes):
+        s, t = st_query(network, point.epsilon, point.epsilon_prime,
+                        seed=point.seed)
         query = DPSQuery.st_query(s, t)
-        measures = run_four_algorithms(network, index, query)
-        rows.append(Table2Row(dataset, epsilon, eps_prime,
+        measures = run_four_algorithms(network, index, query,
+                                       repeats=repeats)
+        rows.append(Table2Row(dataset, point.epsilon, point.epsilon_prime,
                               len(s), len(t), measures))
     return rows
 

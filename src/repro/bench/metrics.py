@@ -6,14 +6,22 @@
 
 Plus the V-ratio of Figure 11 (``|V'_A| / |V'_*|`` against BL-Q's
 smallest DPS) and the border size of the convex hull method.
+
+This module also defines the machine-readable baseline format the
+harness writes next to the plain-text reports (``BENCH_table2.json``
+etc., schema ``repro-bench-v1``) so regressions can be diffed by tools
+rather than eyeballed -- see docs/observability.md for the field
+reference.  Validation is hand-rolled: the repo takes no dependency on a
+JSON-schema library.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.dps import DPSResult
+from repro.obs.counters import field_names as counter_field_names
 
 
 def v_ratio(result: DPSResult, smallest: DPSResult) -> float:
@@ -21,15 +29,47 @@ def v_ratio(result: DPSResult, smallest: DPSResult) -> float:
     return result.v_ratio(smallest)
 
 
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (same convention as
+    ``statistics.quantiles(..., method='inclusive')``); ``q`` in [0, 1]."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile of ``values``."""
+    return quantile(values, 0.5)
+
+
 @dataclass
 class AlgorithmMeasure:
     """One algorithm's measures on one workload point (one Table II cell
-    group)."""
+    group).
+
+    ``seconds`` is the headline timing (the median when ``samples``
+    carries repeat measurements, else the single run); ``samples`` keeps
+    every repeat so the JSON baselines can report tail latency;
+    ``counters`` carries the search-operation counts of
+    :class:`repro.obs.counters.SearchCounters` when the sweep collected
+    them.
+    """
 
     algorithm: str
     seconds: float
     dps_size: int
     extras: Dict[str, float] = field(default_factory=dict)
+    samples: List[float] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result: DPSResult,
@@ -37,6 +77,18 @@ class AlgorithmMeasure:
         return cls(result.algorithm,
                    result.seconds if seconds is None else seconds,
                    result.size, dict(result.stats))
+
+    @property
+    def median_seconds(self) -> float:
+        return median(self.samples) if self.samples else self.seconds
+
+    @property
+    def p95_seconds(self) -> float:
+        return quantile(self.samples, 0.95) if self.samples else self.seconds
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples) if self.samples else 1
 
     def cell(self, key: str, default: str = "-") -> str:
         """Render one extra stat for table output."""
@@ -46,3 +98,96 @@ class AlgorithmMeasure:
         if float(value).is_integer():
             return str(int(value))
         return f"{value:.3g}"
+
+
+# ----------------------------------------------------------------------
+# Machine-readable baselines (BENCH_*.json)
+# ----------------------------------------------------------------------
+
+#: Format tag written into (and required from) every baseline file.
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: Required keys of one baseline row, with their value types.
+_ROW_FIELDS = {
+    "experiment": str,
+    "dataset": str,
+    "algorithm": str,
+    "median_seconds": float,
+    "p95_seconds": float,
+    "repeats": int,
+    "dps_size": int,
+    "counters": dict,
+}
+
+
+def bench_row(experiment: str, dataset: str, measure: AlgorithmMeasure,
+              **extras: Any) -> Dict[str, Any]:
+    """Flatten one measure into a schema row.  ``extras`` lands under an
+    optional ``"extras"`` key (workload parameters like ``epsilon``)."""
+    row: Dict[str, Any] = {
+        "experiment": experiment,
+        "dataset": dataset,
+        "algorithm": measure.algorithm,
+        "median_seconds": float(measure.median_seconds),
+        "p95_seconds": float(measure.p95_seconds),
+        "repeats": int(measure.repeats),
+        "dps_size": int(measure.dps_size),
+        "counters": {k: int(v) for k, v in measure.counters.items()},
+    }
+    if extras:
+        row["extras"] = dict(extras)
+    return row
+
+
+def bench_payload(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap rows in the versioned envelope."""
+    return {"schema": BENCH_SCHEMA, "rows": list(rows)}
+
+
+def validate_bench_payload(payload: Any) -> List[str]:
+    """Return every problem with a baseline document (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        problems.append("rows is missing or not a list")
+        return problems
+    known_counters = set(counter_field_names())
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key, kind in _ROW_FIELDS.items():
+            if key not in row:
+                problems.append(f"{where} misses {key!r}")
+            elif kind is float:
+                if not isinstance(row[key], (int, float)) \
+                        or isinstance(row[key], bool):
+                    problems.append(f"{where}.{key} is not a number")
+                elif row[key] < 0:
+                    problems.append(f"{where}.{key} is negative")
+            elif not isinstance(row[key], kind) \
+                    or isinstance(row[key], bool):
+                problems.append(
+                    f"{where}.{key} is not a {kind.__name__}")
+        repeats = row.get("repeats")
+        if isinstance(repeats, int) and not isinstance(repeats, bool) \
+                and repeats < 1:
+            problems.append(f"{where}.repeats must be >= 1")
+        counters = row.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if name not in known_counters:
+                    problems.append(
+                        f"{where}.counters has unknown field {name!r}")
+                elif not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    problems.append(
+                        f"{where}.counters.{name} is not a"
+                        " non-negative integer")
+    return problems

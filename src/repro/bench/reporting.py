@@ -1,16 +1,42 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text and JSON rendering of experiment results.
 
 The benchmark files print the same rows the paper's tables report and
 the same series its figures plot; these helpers keep the layout uniform
 (fixed-width columns, one header block per table) so EXPERIMENTS.md can
-embed the output verbatim.
+embed the output verbatim.  :func:`write_bench_json` persists the
+machine-readable counterpart (schema ``repro-bench-v1``, see
+:mod:`repro.bench.metrics`).
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence, Union
+import json
+import os
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.bench.metrics import bench_payload, validate_bench_payload
 
 Cell = Union[str, int, float]
+
+
+def write_bench_json(path: Union[str, os.PathLike],
+                     rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Validate ``rows`` against the baseline schema and write them.
+
+    Refuses to write an invalid document -- a broken baseline silently
+    poisons every later comparison, so failing loudly here is the safe
+    default.  Returns the written payload.
+    """
+    payload = bench_payload(rows)
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid bench baseline: "
+            + "; ".join(problems[:5]))
+    with open(path, "w", encoding="ascii") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return payload
 
 
 def _format_cell(value: Cell) -> str:

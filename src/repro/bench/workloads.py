@@ -15,7 +15,7 @@ EAST-S: the stand-in's contour is ~1/30 the length, so the same border
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Table II Q-DPS ε sweeps, per dataset (fractions, not percent).
 QDPS_EPSILONS: Dict[str, List[float]] = {
@@ -65,3 +65,32 @@ class QDPSPoint:
 def qdps_points(dataset: str) -> List[QDPSPoint]:
     """Return the Table II Q-DPS workload points for a dataset."""
     return [QDPSPoint(dataset, eps) for eps in QDPS_EPSILONS[dataset]]
+
+
+@dataclass(frozen=True)
+class STDPSPoint:
+    """One (S, T)-DPS workload point."""
+
+    dataset: str
+    epsilon: float
+    epsilon_prime: float
+
+    @property
+    def seed(self) -> int:
+        # Content-derived like QDPSPoint.seed: the seed depends on the
+        # workload parameters, not on the point's position in a sweep, so
+        # subsetting or reordering the ε′ list never silently changes
+        # which query a given (dataset, ε, ε′) pair runs.
+        import zlib
+        tag = (f"{self.dataset}:st:{round(self.epsilon * 1000)}"
+               f":{round(self.epsilon_prime * 1000)}").encode()
+        return QUERY_SEED_BASE + zlib.crc32(tag) % 100_000
+
+
+def stdps_points(dataset: str = STDPS_DATASET,
+                 epsilon: float = STDPS_EPSILON,
+                 epsilon_primes: Optional[List[float]] = None,
+                 ) -> List[STDPSPoint]:
+    """Return the Table II (S, T)-DPS workload points."""
+    primes = STDPS_EPSILON_PRIMES if epsilon_primes is None else epsilon_primes
+    return [STDPSPoint(dataset, epsilon, ep) for ep in primes]

@@ -11,11 +11,16 @@ The server-side workflow of the paper's deployment story, scriptable:
                               --index map.index.json \\
                               --epsilon 0.2 --seed 1 \\
                               --algorithm roadpart --refine \\
-                              --out region --verify
+                              --out region --verify --stats
 
 ``query`` writes the DPS as a DIMACS ``.gr``/``.co`` pair (the download
 artefact of the mobile scenario) plus a ``.vertices`` file mapping the
 subgraph's ids back to the original network.
+
+``--stats`` (on ``query`` and ``build-index``) prints the phase timings
+and search-operation counters of :mod:`repro.obs`; ``--stats-json``
+emits the same as a JSON document on stdout (human chatter moves to
+stderr) -- see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.datasets.synthetic import (
 from repro.graph.builder import validate_network
 from repro.graph.io import read_dimacs, write_dimacs
 from repro.graph.network import RoadNetwork
+from repro.obs import QueryStats, TraceRecorder
 
 
 def _load_network(args) -> RoadNetwork:
@@ -97,15 +103,25 @@ def _cmd_stats(args) -> int:
 
 def _cmd_build_index(args) -> int:
     network = _load_network(args)
+    want_stats = args.stats or args.stats_json
+    # With --stats-json, stdout carries only the JSON document (pipe it
+    # straight into a tool); the human progress lines move to stderr.
+    chat = sys.stderr if args.stats_json else sys.stdout
+    trace = TraceRecorder() if want_stats else None
     started = time.perf_counter()
     index = build_index(network, args.borders,
-                        contour_strategy=args.contour)
+                        contour_strategy=args.contour, trace=trace)
     index.save(args.out)
     print(f"index built in {time.perf_counter() - started:.2f}s:"
           f" l={index.border_count}, |R|={index.regions.region_count},"
           f" bridges={len(index.bridges)},"
-          f" contour={index.stats.contour_strategy_used}")
-    print(f"wrote {args.out}")
+          f" contour={index.stats.contour_strategy_used}", file=chat)
+    if args.stats_json:
+        print(json.dumps(trace.to_dict(), indent=2))
+    elif args.stats:
+        print("build trace:")
+        print(trace.render())
+    print(f"wrote {args.out}", file=chat)
     return 0
 
 
@@ -120,7 +136,12 @@ def _parse_query(args, network: RoadNetwork) -> DPSQuery:
 def _cmd_query(args) -> int:
     network = _load_network(args)
     query = _parse_query(args, network)
-    print(f"query: {len(query.combined)} points")
+    # With --stats-json, stdout carries only the JSON document (pipe it
+    # straight into a tool); the human progress lines move to stderr.
+    chat = sys.stderr if args.stats_json else sys.stdout
+    print(f"query: {len(query.combined)} points", file=chat)
+    want_stats = args.stats or args.stats_json
+    qstats = QueryStats() if want_stats else None
     result: DPSResult
     if args.algorithm == "roadpart":
         if not args.index:
@@ -128,22 +149,26 @@ def _cmd_query(args) -> int:
                   file=sys.stderr)
             return 2
         index = RoadPartIndex.load(args.index, network)
-        result = roadpart_dps(index, query)
+        result = roadpart_dps(index, query, stats=qstats)
     elif args.algorithm == "blq":
-        result = bl_quality(network, query)
+        result = bl_quality(network, query, stats=qstats)
     elif args.algorithm == "ble":
-        result = bl_efficiency(network, query)
+        result = bl_efficiency(network, query, stats=qstats)
     else:
-        result = convex_hull_dps(network, query)
+        result = convex_hull_dps(network, query, stats=qstats)
     print(f"{result.algorithm}: DPS of {result.size} vertices"
-          f" in {result.seconds:.3f}s  stats={result.stats}")
+          f" in {result.seconds:.3f}s  stats={result.stats}", file=chat)
+    if args.stats_json:
+        print(json.dumps(qstats.to_dict(), indent=2))
+    elif args.stats:
+        print(qstats.render())
     if args.refine:
         result = convex_hull_dps(network, query, base=result)
         print(f"hull refinement: {result.size} vertices"
-              f" in {result.seconds:.3f}s")
+              f" in {result.seconds:.3f}s", file=chat)
     if args.verify:
         report = verify_dps(network, result, query, max_sources=25)
-        print(f"verification: {report.summary()}")
+        print(f"verification: {report.summary()}", file=chat)
         if not report.ok:
             return 1
     if args.out:
@@ -152,7 +177,8 @@ def _cmd_query(args) -> int:
                      comment=f"DPS by {result.algorithm}")
         with open(f"{args.out}.vertices", "w", encoding="ascii") as fh:
             json.dump(mapping, fh)
-        print(f"wrote {args.out}.gr / {args.out}.co / {args.out}.vertices")
+        print(f"wrote {args.out}.gr / {args.out}.co / {args.out}.vertices",
+              file=chat)
     return 0
 
 
@@ -187,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--contour", choices=["walk", "walk-planar",
                                              "hull"], default="walk")
     build.add_argument("--out", required=True)
+    build.add_argument("--stats", action="store_true",
+                       help="print the nested build-phase trace")
+    build.add_argument("--stats-json", action="store_true",
+                       help="print the build trace as JSON")
     build.set_defaults(func=_cmd_build_index)
 
     query = sub.add_parser("query", help="answer a DPS query")
@@ -211,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--out",
                        help="output path prefix for the DPS"
                             " (.gr/.co/.vertices appended)")
+    query.add_argument("--stats", action="store_true",
+                       help="print phase timings and search counters")
+    query.add_argument("--stats-json", action="store_true",
+                       help="print phase timings and counters as JSON")
     query.set_defaults(func=_cmd_query)
 
     return parser

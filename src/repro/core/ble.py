@@ -16,9 +16,12 @@ smallest DPS needs, which is exactly what Table II and Figure 11 measure.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import SearchCounters
+from repro.obs.stats import QueryStats, resolve_stats
 from repro.shortestpath.dijkstra import DijkstraSearch
 from repro.spatial.rect import Rect
 
@@ -41,40 +44,57 @@ class BLEOutcome:
         return v in self.search.dist
 
 
-def run_ble_search(network: RoadNetwork, query: DPSQuery) -> BLEOutcome:
+def run_ble_search(network: RoadNetwork, query: DPSQuery,
+                   counters: Optional[SearchCounters] = None,
+                   stats: Optional[QueryStats] = None) -> BLEOutcome:
     """Run the BL-E search machinery and return its raw outcome.
 
     Split from :func:`bl_efficiency` because RoadPart's query processor
     runs the same search for Corollary 3 bridge pruning without wanting a
-    :class:`DPSResult`.
+    :class:`DPSResult`.  ``counters`` instruments the single resumable
+    Dijkstra (one counter set across both stages -- the ``r`` phase and
+    the ``2r`` continuation accumulate, never reset); ``stats`` adds the
+    ``center`` / ``settle-query`` / ``extend-2r`` phase breakdown.
     """
+    stats = resolve_stats(stats)
+    if counters is None:
+        counters = stats.counters
     query.validate_against(network)
-    q = query.combined
-    mbr = Rect.from_points(network.coord(v) for v in q)
-    center_vertex = network.vertex_rtree().nearest_one(mbr.center())
-    search = DijkstraSearch(network, int(center_vertex))
-    if not search.run_until_settled(q):
+    with stats.phase("center"):
+        q = query.combined
+        mbr = Rect.from_points(network.coord(v) for v in q)
+        center_vertex = network.vertex_rtree().nearest_one(mbr.center())
+    search = DijkstraSearch(network, int(center_vertex), counters=counters)
+    with stats.phase("settle-query"):
+        settled_all = search.run_until_settled(q)
+    if not settled_all:
         unreached = [v for v in q if v not in search.dist]
         raise ValueError(
             f"network is not connected: {len(unreached)} query vertices"
             f" unreachable from the centre vertex {center_vertex}")
     radius = max(search.dist[v] for v in q)
-    search.run_until_beyond(2.0 * radius)
+    with stats.phase("extend-2r"):
+        search.run_until_beyond(2.0 * radius)
     return BLEOutcome(int(center_vertex), radius, search)
 
 
-def bl_efficiency(network: RoadNetwork, query: DPSQuery) -> DPSResult:
+def bl_efficiency(network: RoadNetwork, query: DPSQuery,
+                  stats: Optional[QueryStats] = None) -> DPSResult:
     """Return the radius-``2r`` DPS of Section III-B.
 
     Every vertex settled by the staged search has ``dist(vc, ·) ≤ 2r``
     (phase one settles at most ``r``, phase two stops at ``2r``), so the
-    settled set *is* the DPS.
+    settled set *is* the DPS.  ``stats`` (optional) collects the phase
+    timings and engine counters -- see :mod:`repro.obs`.
     """
+    stats = resolve_stats(stats)
     started = time.perf_counter()
-    outcome = run_ble_search(network, query)
+    outcome = run_ble_search(network, query, stats=stats)
     vertices = frozenset(outcome.search.dist)
     elapsed = time.perf_counter() - started
-    return DPSResult("BL-E", query, vertices, seconds=elapsed,
-                     stats={"center_vertex": outcome.center_vertex,
-                            "radius": outcome.radius,
-                            "sssp_rounds": 1})
+    result = DPSResult("BL-E", query, vertices, seconds=elapsed,
+                       stats={"center_vertex": outcome.center_vertex,
+                              "radius": outcome.radius,
+                              "sssp_rounds": 1})
+    stats.finish(result, network)
+    return result

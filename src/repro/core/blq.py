@@ -12,36 +12,49 @@ quality and the denominator of every V-ratio in Figure 11.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
+from repro.obs.stats import QueryStats, resolve_stats
 from repro.shortestpath.dijkstra import DijkstraSearch
 from repro.shortestpath.paths import collect_path_vertices
 
 
-def bl_quality(network: RoadNetwork, query: DPSQuery) -> DPSResult:
+def bl_quality(network: RoadNetwork, query: DPSQuery,
+               stats: Optional[QueryStats] = None) -> DPSResult:
     """Return the smallest DPS for ``query``.
 
     Ties between equal-length shortest paths resolve to the path Dijkstra
     discovers, so "smallest" is with respect to one canonical shortest
     path per pair -- the same convention the paper uses (its proofs only
     require *a* shortest path per pair to survive in the subgraph).
+
+    ``stats`` (optional) collects per-phase timings (``sssp``,
+    ``collect``) and engine counters -- see :mod:`repro.obs`.
     """
     query.validate_against(network)
+    stats = resolve_stats(stats)
+    counters = stats.counters
     started = time.perf_counter()
     sources, targets = query.smaller_side()
     target_list = sorted(targets)
     collected: set = set()
     rounds = 0
     for s in sorted(sources):
-        search = DijkstraSearch(network, s)
-        if not search.run_until_settled(target_list):
+        with stats.phase("sssp"):
+            search = DijkstraSearch(network, s, counters=counters)
+            settled_all = search.run_until_settled(target_list)
+        if not settled_all:
             unreached = [t for t in target_list if t not in search.dist]
             raise ValueError(
                 f"network is not connected: {len(unreached)} targets"
                 f" unreachable from {s} (e.g. {unreached[:3]})")
-        collect_path_vertices(search.pred, s, target_list, collected)
+        with stats.phase("collect"):
+            collect_path_vertices(search.pred, s, target_list, collected)
         rounds += 1
     elapsed = time.perf_counter() - started
-    return DPSResult("BL-Q", query, frozenset(collected), seconds=elapsed,
-                     stats={"sssp_rounds": rounds})
+    result = DPSResult("BL-Q", query, frozenset(collected), seconds=elapsed,
+                       stats={"sssp_rounds": rounds})
+    stats.finish(result, network)
+    return result

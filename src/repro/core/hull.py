@@ -27,6 +27,8 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Un
 
 from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import SearchCounters
+from repro.obs.stats import QueryStats, resolve_stats
 from repro.shortestpath.dijkstra import DijkstraSearch
 from repro.shortestpath.paths import collect_path_vertices
 from repro.spatial.geometry import Point, on_segment, orientation
@@ -131,7 +133,8 @@ def _crossing_border(network: RoadNetwork, hull: Sequence[Point],
 
 def _connect_borders(network: RoadNetwork, from_border: Set[int],
                      to_border: Set[int], allowed: Optional[Set[int]],
-                     into: Set[int]) -> int:
+                     into: Set[int],
+                     counters: Optional[SearchCounters] = None) -> int:
     """Add the vertices of ``sp(b, b')`` for all border pairs to ``into``.
 
     Iterates SSSP over the smaller side.  Returns the number of SSSP
@@ -146,7 +149,8 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
     targets = sorted(large)
     rounds = 0
     for b in sorted(small):
-        search = DijkstraSearch(network, b, allowed=allowed)
+        search = DijkstraSearch(network, b, allowed=allowed,
+                                counters=counters)
         if not search.run_until_settled(targets):
             unreached = [t for t in targets if t not in search.dist]
             raise ValueError(
@@ -158,7 +162,8 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
 
 
 def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
-                    base: BaseGraph = None) -> DPSResult:
+                    base: BaseGraph = None,
+                    stats: Optional[QueryStats] = None) -> DPSResult:
     """Run the convex hull method (Algorithm 1 or 2, chosen by the query).
 
     ``base`` selects the input graph ``H``: None for the full road
@@ -166,8 +171,14 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
     refine -- the latter is the paper's recommended client-side use and is
     "several times faster ... even if we include the query processing time
     of RoadPart" (Section VII-B).
+
+    ``stats`` (optional) collects per-phase timings (``hull-membership``,
+    ``crossing-border``, ``connect-borders``) and engine counters -- see
+    :mod:`repro.obs`.
     """
     query.validate_against(network)
+    stats = resolve_stats(stats)
+    counters = stats.counters
     allowed = _resolve_base(base)
     if allowed is not None:
         outside = query.combined - allowed
@@ -178,27 +189,36 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
     started = time.perf_counter()
     collected: Set[int] = set()
     if query.is_symmetric:
-        hull, covered, border_seed = _hull_membership(
-            network, query.sources, allowed)
-        border = border_seed | _crossing_border(network, hull, allowed)
+        with stats.phase("hull-membership"):
+            hull, covered, border_seed = _hull_membership(
+                network, query.sources, allowed)
+        with stats.phase("crossing-border"):
+            border = border_seed | _crossing_border(network, hull, allowed)
         collected |= covered
-        rounds = _connect_borders(network, border, border, allowed, collected)
+        with stats.phase("connect-borders"):
+            rounds = _connect_borders(network, border, border, allowed,
+                                      collected, counters)
         border_stat = len(border)
     else:
-        hull_s, covered_s, seed_s = _hull_membership(
-            network, query.sources, allowed)
-        hull_t, covered_t, seed_t = _hull_membership(
-            network, query.targets, allowed)
-        border_s = seed_s | _crossing_border(network, hull_s, allowed)
-        border_t = seed_t | _crossing_border(network, hull_t, allowed)
+        with stats.phase("hull-membership"):
+            hull_s, covered_s, seed_s = _hull_membership(
+                network, query.sources, allowed)
+            hull_t, covered_t, seed_t = _hull_membership(
+                network, query.targets, allowed)
+        with stats.phase("crossing-border"):
+            border_s = seed_s | _crossing_border(network, hull_s, allowed)
+            border_t = seed_t | _crossing_border(network, hull_t, allowed)
         collected |= covered_s
         collected |= covered_t
-        rounds = _connect_borders(network, border_s, border_t, allowed,
-                                  collected)
+        with stats.phase("connect-borders"):
+            rounds = _connect_borders(network, border_s, border_t, allowed,
+                                      collected, counters)
         border_stat = min(len(border_s), len(border_t))
     collected |= query.combined  # degenerate hulls can miss isolated points
     elapsed = time.perf_counter() - started
-    return DPSResult("ConvexHull", query, frozenset(collected),
-                     seconds=elapsed,
-                     stats={"border": border_stat, "sssp_rounds": rounds,
-                            "refined": float(allowed is not None)})
+    result = DPSResult("ConvexHull", query, frozenset(collected),
+                       seconds=elapsed,
+                       stats={"border": border_stat, "sssp_rounds": rounds,
+                              "refined": float(allowed is not None)})
+    stats.finish(result, network)
+    return result

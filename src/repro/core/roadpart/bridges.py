@@ -16,6 +16,17 @@ three pruning rules before the expensive domain computations run:
 - Theorem 7: a cut bridge lying wholly outside an *earlier* window
   boundary (in the processing order of the cut pairs) is covered by the
   bridges crossing that earlier boundary.
+
+Caveat on Theorem 7: its coverage proof assumes cuts are shortest paths
+in the full graph.  This implementation computes cuts on the planar
+skeleton (:class:`repro.core.roadpart.labeling.CutCache`), under which
+the rule can prune a bridge that query shortest paths need -- a shortcut
+bridge wholly outside an earlier boundary undercuts that boundary's cut
+corridor, so the excursion it carries cannot be replaced by a cut
+segment.  :func:`theorem7_survivors` therefore stays available for the
+ablation that measures the paper's rule, but query processing applies it
+only when explicitly asked (``prune_theorem7=True``, default False; see
+:mod:`repro.core.roadpart.query`).
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from repro.core.roadpart.contour import Contour, compute_contour
 from repro.core.roadpart.labeling import CutCache, label_round
 from repro.core.roadpart.regions import RegionBuilder, RegionSet
 from repro.graph.network import RoadNetwork
+from repro.obs.trace import TraceRecorder, resolve_trace
 
 
 @dataclass
@@ -125,6 +126,7 @@ def build_index(network: RoadNetwork, border_count: int,
                 contour_strategy: str = "walk",
                 border_method: str = "equi-length",
                 bridges: Optional[FrozenSet[EdgeKey]] = None,
+                trace: Optional[TraceRecorder] = None,
                 ) -> RoadPartIndex:
     """Build a RoadPart index with ``ℓ = border_count`` border vertices.
 
@@ -133,17 +135,25 @@ def build_index(network: RoadNetwork, border_count: int,
     the spatial self-join runs here.  ``contour_strategy`` is passed to
     :func:`repro.core.roadpart.contour.compute_contour`; a failed walk
     falls back to the hull contour and records the fact in the stats.
+
+    ``trace`` (optional, see :mod:`repro.obs.trace`) records a nested
+    span tree of the build: ``bridges`` / ``contour`` / ``labeling`` with
+    one ``round-<i>`` child per labelling round, itself broken into
+    ``cuts`` / ``flood`` / ``pockets``.
     """
+    trace = resolve_trace(trace)
     stats = IndexBuildStats()
     started = time.perf_counter()
 
     step = time.perf_counter()
-    if bridges is None:
-        bridges = find_bridges(network)
+    with trace.span("bridges"):
+        if bridges is None:
+            bridges = find_bridges(network)
     stats.bridge_find_seconds = time.perf_counter() - step
 
     step = time.perf_counter()
-    contour, strategy_used = compute_contour(network, contour_strategy)
+    with trace.span("contour"):
+        contour, strategy_used = compute_contour(network, contour_strategy)
     stats.contour_seconds = time.perf_counter() - step
     stats.contour_strategy_used = strategy_used
     stats.contour_length = len(contour)
@@ -154,14 +164,17 @@ def build_index(network: RoadNetwork, border_count: int,
     builder = RegionBuilder(network.num_vertices)
     bridge_set = set(bridges)
     cut_cache = CutCache(network, forbidden_edges=bridge_set)
-    for round_index in range(len(border_positions)):
-        labels, round_stats = label_round(network, contour,
-                                          border_positions, round_index,
-                                          bridge_set, cut_cache)
-        builder.apply_round(labels)
-        stats.raycast_calls += round_stats.raycast_calls
-        stats.pocket_count += round_stats.pockets
-        stats.widened_labels += round_stats.widened
+    with trace.span("labeling"):
+        for round_index in range(len(border_positions)):
+            with trace.span(f"round-{round_index}"):
+                labels, round_stats = label_round(network, contour,
+                                                  border_positions,
+                                                  round_index, bridge_set,
+                                                  cut_cache, trace=trace)
+            builder.apply_round(labels)
+            stats.raycast_calls += round_stats.raycast_calls
+            stats.pocket_count += round_stats.pockets
+            stats.widened_labels += round_stats.widened
     stats.labeling_seconds = time.perf_counter() - step
     stats.astar_expanded = cut_cache.astar_expanded
     stats.fallback_cuts = cut_cache.fallback_cuts

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.roadpart.contour import Contour
 from repro.graph.network import RoadNetwork
+from repro.obs.trace import TraceRecorder, resolve_trace
 from repro.shortestpath.astar import astar
 from repro.spatial.polygon import chain_to_polygon, point_in_polygon
 
@@ -152,13 +153,17 @@ def _in_zone_bfs(network: RoadNetwork, seeds: List[int], zone: int,
 def label_round(network: RoadNetwork, contour: Contour,
                 border_positions: Sequence[int], round_index: int,
                 bridges: Set[Tuple[int, int]], cuts: CutCache,
+                trace: Optional[TraceRecorder] = None,
                 ) -> Tuple[List[Label], RoundStats]:
     """Label every vertex with respect to border vertex
     ``border_positions[round_index]``.
 
     Returns the per-vertex labels (1-based zone intervals, ``ℓ`` zones
     where ``ℓ = len(border_positions)``) and the round's instrumentation.
+    ``trace`` (optional) records ``cuts`` / ``flood`` / ``pockets`` child
+    spans -- see :mod:`repro.obs.trace`.
     """
+    trace = resolve_trace(trace)
     stats = RoundStats()
     coords = network.coords
     zone_count = len(border_positions)
@@ -171,53 +176,56 @@ def label_round(network: RoadNetwork, contour: Contour,
 
     # --- cuts: cut_j = sp(b, c_j), separating zone j from zone j+1 ------
     before = cuts.astar_expanded
-    cut_paths: List[List[int]] = [
-        cuts.path(b, border_ids[j]) for j in range(1, zone_count)]
+    with trace.span("cuts"):
+        cut_paths: List[List[int]] = [
+            cuts.path(b, border_ids[j]) for j in range(1, zone_count)]
     stats.astar_expanded = cuts.astar_expanded - before
 
     labels: List[Optional[List[int]]] = [None] * network.num_vertices
 
-    # --- Step 1: label cut vertices ------------------------------------
-    for j, path in enumerate(cut_paths, start=1):
-        for v in path:
-            _insert_zone(labels, v, j)
-            _insert_zone(labels, v, j + 1)
-    stats.cut_vertices = sum(1 for lab in labels if lab is not None)
+    with trace.span("flood"):
+        # --- Step 1: label cut vertices --------------------------------
+        for j, path in enumerate(cut_paths, start=1):
+            for v in path:
+                _insert_zone(labels, v, j)
+                _insert_zone(labels, v, j + 1)
+        stats.cut_vertices = sum(1 for lab in labels if lab is not None)
 
-    # --- Step 2: contour segments + in-zone BFS ------------------------
-    contour_chains: List[List[int]] = []
-    for i in range(1, zone_count + 1):
-        start_pos = rotated[i - 1]
-        end_pos = rotated[i % zone_count]
-        chain = contour.chain(start_pos, end_pos)
-        contour_chains.append(chain)
-        seeds = []
-        for v in chain:
-            if labels[v] is None:
-                labels[v] = [i, i]
-                seeds.append(v)
-            else:
-                _insert_zone(labels, v, i)  # widening fix, see docstring
-        stats.bfs_labelled += _in_zone_bfs(network, seeds, i, labels,
-                                           bridges)
+        # --- Step 2: contour segments + in-zone BFS --------------------
+        contour_chains: List[List[int]] = []
+        for i in range(1, zone_count + 1):
+            start_pos = rotated[i - 1]
+            end_pos = rotated[i % zone_count]
+            chain = contour.chain(start_pos, end_pos)
+            contour_chains.append(chain)
+            seeds = []
+            for v in chain:
+                if labels[v] is None:
+                    labels[v] = [i, i]
+                    seeds.append(v)
+                else:
+                    _insert_zone(labels, v, i)  # widening fix, docstring
+            stats.bfs_labelled += _in_zone_bfs(network, seeds, i, labels,
+                                               bridges)
 
     # --- Step 3: ray-cast the sealed pockets ---------------------------
     unlabelled = [v for v in network.vertices() if labels[v] is None]
     if unlabelled:
-        polygons = _zone_polygons(coords, cut_paths, contour_chains,
-                                  zone_count)
-        for v in unlabelled:
-            if labels[v] is not None:
-                continue  # flooded by an earlier pocket
-            zone = _locate_zone(coords[v], polygons, stats)
-            if zone is None:
-                labels[v] = [1, zone_count]
-                stats.widened += 1
-                continue
-            labels[v] = [zone, zone]
-            stats.pockets += 1
-            stats.bfs_labelled += _in_zone_bfs(network, [v], zone, labels,
-                                               bridges)
+        with trace.span("pockets"):
+            polygons = _zone_polygons(coords, cut_paths, contour_chains,
+                                      zone_count)
+            for v in unlabelled:
+                if labels[v] is not None:
+                    continue  # flooded by an earlier pocket
+                zone = _locate_zone(coords[v], polygons, stats)
+                if zone is None:
+                    labels[v] = [1, zone_count]
+                    stats.widened += 1
+                    continue
+                labels[v] = [zone, zone]
+                stats.pockets += 1
+                stats.bfs_labelled += _in_zone_bfs(network, [v], zone,
+                                                   labels, bridges)
 
     return [(lab[0], lab[1]) for lab in labels], stats  # type: ignore[index]
 

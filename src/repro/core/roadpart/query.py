@@ -8,35 +8,48 @@ Given a query, the processor:
    dimensions (Theorem 2) -- their vertices form the planar part of the
    DPS (Theorem 3);
 3. classifies each bridge against ``W``, prunes interior bridges
-   (Theorem 6), any bridge with an endpoint beyond BL-E's ``2r`` ball
-   (Corollary 3 / Theorem 1) and cut bridges dominated by an earlier
-   boundary (Theorem 7); the survivors are *examined*: their domains
+   (Theorem 6) and any bridge with an endpoint beyond BL-E's ``2r`` ball
+   (Corollary 3 / Theorem 1); the survivors are *examined*: their domains
    ``UD*`` and ``VD*`` are computed with the dual-heap search, and each
    *valid* bridge (both domains non-empty, Theorem 5) patches the
    shortest paths between its endpoints and the query vertices into the
    DPS.
 
-One deliberate deviation from the paper, forced by the skeleton-cut fix
-(see :class:`repro.core.roadpart.labeling.CutCache`): the paper prunes
-*exterior* bridges unconditionally (its Theorem 6), whose proof leans on
-cuts being shortest paths in the full graph.  With skeleton cuts, a
-far-side excursion entering through cut vertices could undercut the cut
-corridor using a far-side bridge, so exterior bridges are pruned only by
-the purely metric Corollary 3 ball test (sound regardless of cut
-geometry) -- a few extra examinations per query, measured in Ablation A.
+Two deliberate deviations from the paper, both forced by the
+skeleton-cut fix (see :class:`repro.core.roadpart.labeling.CutCache`).
+The paper's proofs for Theorems 6 and 7 lean on cuts being shortest
+paths in the *full* graph: a path excursion beyond a window boundary can
+then be replaced by a segment of the boundary's cut at no extra length.
+With skeleton cuts a bridge on the far side can undercut the cut
+corridor, so the replacement argument only holds for bridge-free
+excursions:
 
-All pruning rules can be switched off individually for the ablation
-benchmarks; switching rules off only adds examined bridges (cost), never
-changes the result's correctness.
+- *Exterior* bridges are not pruned unconditionally (the paper's
+  Theorem 6 for them); only the purely metric Corollary 3 ball test --
+  sound regardless of cut geometry -- may discard them.
+- The Theorem 7 cut-pair dominance prune is **off by default**
+  (``prune_theorem7=False``).  Its coverage argument assumes a path
+  reaching a pruned bridge crosses the earlier boundary over an examined
+  bridge or a replaceable cut segment; a shortcut bridge lying wholly
+  outside that boundary breaks the latter, and Hypothesis found a
+  network where the prune drops the one bridge the shortest path needs
+  (see ``tests/core/roadpart/test_query.py::
+  test_theorem7_can_drop_a_needed_bridge``).  Enable it to reproduce the
+  paper's examined-bridge counts, not to answer queries.
+
+The interior prune and Corollary 3 are sound as implemented; switching
+them off (Ablation A) only adds examined bridges, never changes the
+result.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.ble import run_ble_search
 from repro.core.dps import DPSQuery, DPSResult
+from repro.obs.stats import QueryStats, resolve_stats
 from repro.core.roadpart.bridges import (
     BridgeClassification,
     EdgeKey,
@@ -60,10 +73,14 @@ class RoadPartQueryProcessor:
         ``'tight'`` (Section IV-C procedure, default) or ``'loose'``
         (Equation (1); Ablation B).
     prune_corollary3, prune_theorem7:
-        Toggle the two cut-bridge pruning rules (Ablation A).  Interior/
-        exterior pruning (Theorem 6) is not toggleable: it is what makes
-        the examined set finite in spirit -- but ``examine_all_bridges``
-        below bypasses it for the ablation's no-pruning row.
+        Toggle the two cut-bridge pruning rules (Ablation A).
+        ``prune_theorem7`` defaults to **False**: the paper's Theorem 7
+        is unsound under this implementation's skeleton cuts and can
+        prune a bridge that query shortest paths need (module
+        docstring).  Interior pruning (Theorem 6) is not toggleable: it
+        is what makes the examined set finite in spirit -- but
+        ``examine_all_bridges`` below bypasses it for the ablation's
+        no-pruning row.
     cut_pair_order:
         ``'load'`` or ``'dimension'`` ordering of ``L`` for Theorem 7.
     examine_all_bridges:
@@ -73,7 +90,7 @@ class RoadPartQueryProcessor:
 
     def __init__(self, index: RoadPartIndex, window_mode: str = "tight",
                  prune_corollary3: bool = True,
-                 prune_theorem7: bool = True,
+                 prune_theorem7: bool = False,
                  cut_pair_order: str = "load",
                  examine_all_bridges: bool = False) -> None:
         if window_mode not in ("tight", "loose"):
@@ -87,102 +104,128 @@ class RoadPartQueryProcessor:
 
     # ------------------------------------------------------------------
 
-    def query(self, query: DPSQuery) -> DPSResult:
+    def query(self, query: DPSQuery,
+              stats: Optional[QueryStats] = None) -> DPSResult:
         """Answer a DPS query; returns the DPS with the paper's measures
-        (``b`` examined bridges, ``b_v`` valid bridges) in the stats."""
+        (``b`` examined bridges, ``b_v`` valid bridges) in the stats.
+
+        ``stats`` (optional) collects the phase breakdown (``window``,
+        ``region-prune``, ``bridge-classify``, ``cor3-ble``,
+        ``bridge-domains``, ``path-patch``) and engine counters -- see
+        :mod:`repro.obs`.
+        """
         network = self._index.network
         query.validate_against(network)
+        stats = resolve_stats(stats)
         started = time.perf_counter()
         regions = self._index.regions
         q_vertices = sorted(query.combined)
 
         # --- window ----------------------------------------------------
-        query_regions = regions.regions_of_vertices(q_vertices)
-        query_vectors = [regions.vectors[rid] for rid in query_regions]
-        if self._window_mode == "tight":
-            window = tight_window(query_vectors)
-        else:
-            window = loose_window(query_vectors)
+        with stats.phase("window"):
+            query_regions = regions.regions_of_vertices(q_vertices)
+            query_vectors = [regions.vectors[rid] for rid in query_regions]
+            if self._window_mode == "tight":
+                window = tight_window(query_vectors)
+            else:
+                window = loose_window(query_vectors)
 
         # --- region pruning (Theorem 2) ---------------------------------
         collected: Set[int] = set()
         kept_regions = 0
-        for rid, vector in enumerate(regions.vectors):
-            if region_in_window(vector, window):
-                collected.update(regions.members[rid])
-                kept_regions += 1
+        with stats.phase("region-prune"):
+            for rid, vector in enumerate(regions.vectors):
+                if region_in_window(vector, window):
+                    collected.update(regions.members[rid])
+                    kept_regions += 1
 
         # --- bridge handling (Section V) --------------------------------
-        examined, valid = self._handle_bridges(query, window, collected)
+        examined, valid = self._handle_bridges(query, window, collected,
+                                               stats)
 
         elapsed = time.perf_counter() - started
-        return DPSResult("RoadPart", query, frozenset(collected),
-                         seconds=elapsed,
-                         stats={"b": examined, "bv": valid,
-                                "regions_kept": kept_regions,
-                                "query_regions": len(query_regions)})
+        result = DPSResult("RoadPart", query, frozenset(collected),
+                           seconds=elapsed,
+                           stats={"b": examined, "bv": valid,
+                                  "regions_kept": kept_regions,
+                                  "query_regions": len(query_regions)})
+        stats.finish(result, network)
+        return result
 
     # ------------------------------------------------------------------
 
     def _handle_bridges(self, query: DPSQuery, window,
-                        collected: Set[int]) -> Tuple[int, int]:
+                        collected: Set[int],
+                        stats: QueryStats) -> Tuple[int, int]:
         """Prune, examine and patch bridges; returns ``(b, b_v)``."""
         network = self._index.network
         bridges = self._index.bridges
         if not bridges:
             return 0, 0
         regions = self._index.regions
+        counters = stats.counters
 
         if self._examine_all:
             to_examine: List[EdgeKey] = sorted(bridges)
         else:
             cut_bridges: Dict[EdgeKey, BridgeClassification] = {}
             exterior_bridges: List[EdgeKey] = []
-            for key in bridges:
-                cls = classify_bridge(regions.vector_of_vertex(key[0]),
-                                      regions.vector_of_vertex(key[1]),
-                                      window)
-                if cls.kind == "cut":
-                    cut_bridges[key] = cls
-                elif cls.kind == "exterior":
-                    # Not pruned outright (paper's Theorem 6): with
-                    # skeleton cuts only the metric Corollary 3 test
-                    # below may discard these (module docstring).
-                    exterior_bridges.append(key)
-                # interior bridges are pruned (Theorem 6, still sound)
+            with stats.phase("bridge-classify"):
+                for key in bridges:
+                    cls = classify_bridge(regions.vector_of_vertex(key[0]),
+                                          regions.vector_of_vertex(key[1]),
+                                          window)
+                    if cls.kind == "cut":
+                        cut_bridges[key] = cls
+                    elif cls.kind == "exterior":
+                        # Not pruned outright (paper's Theorem 6): with
+                        # skeleton cuts only the metric Corollary 3 test
+                        # below may discard these (module docstring).
+                        exterior_bridges.append(key)
+                    # interior bridges are pruned (Theorem 6, still sound)
             if self._prune_cor3 and (cut_bridges or exterior_bridges):
-                ble = run_ble_search(network, query)
-                cut_bridges = {
-                    key: cls for key, cls in cut_bridges.items()
-                    if ble.within_2r(key[0]) and ble.within_2r(key[1])}
-                exterior_bridges = [
-                    key for key in exterior_bridges
-                    if ble.within_2r(key[0]) and ble.within_2r(key[1])]
-            if self._prune_thm7 and cut_bridges:
-                to_examine = theorem7_survivors(
-                    cut_bridges, len(window), self._cut_pair_order)
-            else:
-                to_examine = sorted(cut_bridges)
-            to_examine = sorted(set(to_examine) | set(exterior_bridges))
+                with stats.phase("cor3-ble"):
+                    # Corollary 3's 2r ball reuses BL-E's search; its
+                    # heap/relax work lands in the same counter set but
+                    # keeps its own phase so the breakdown stays honest.
+                    ble = run_ble_search(network, query, counters=counters)
+                    cut_bridges = {
+                        key: cls for key, cls in cut_bridges.items()
+                        if ble.within_2r(key[0]) and ble.within_2r(key[1])}
+                    exterior_bridges = [
+                        key for key in exterior_bridges
+                        if ble.within_2r(key[0]) and ble.within_2r(key[1])]
+            with stats.phase("bridge-classify"):
+                if self._prune_thm7 and cut_bridges:
+                    to_examine = theorem7_survivors(
+                        cut_bridges, len(window), self._cut_pair_order)
+                else:
+                    to_examine = sorted(cut_bridges)
+                to_examine = sorted(set(to_examine) | set(exterior_bridges))
 
         q_vertices = sorted(query.combined)
         examined = 0
         valid = 0
         for u, v in to_examine:
             examined += 1
-            domains = bridge_domains(network, u, v, q_vertices)
+            with stats.phase("bridge-domains"):
+                domains = bridge_domains(network, u, v, q_vertices,
+                                         counters=counters)
             if not domains.ud_star or not domains.vd_star:
                 continue  # Theorem 5: this bridge carries no query path
             valid += 1
-            members = sorted(domains.ud_star | domains.vd_star)
-            collect_path_vertices(domains.search_u.pred, u, members,
-                                  collected)
-            collect_path_vertices(domains.search_v.pred, v, members,
-                                  collected)
+            with stats.phase("path-patch"):
+                members = sorted(domains.ud_star | domains.vd_star)
+                collect_path_vertices(domains.search_u.pred, u, members,
+                                      collected)
+                collect_path_vertices(domains.search_v.pred, v, members,
+                                      collected)
         return examined, valid
 
 
 def roadpart_dps(index: RoadPartIndex, query: DPSQuery,
+                 stats: Optional[QueryStats] = None,
                  **processor_options) -> DPSResult:
     """One-shot convenience: build a processor and answer one query."""
-    return RoadPartQueryProcessor(index, **processor_options).query(query)
+    processor = RoadPartQueryProcessor(index, **processor_options)
+    return processor.query(query, stats=stats)

@@ -1,0 +1,49 @@
+"""repro.obs: zero-dependency observability for the DPS pipeline.
+
+Three layers, cheapest first:
+
+- :mod:`repro.obs.counters` -- :class:`SearchCounters`, the operation
+  counts (heap traffic, relaxations, settlements, prunes) every SSSP
+  engine accepts via ``counters=``;
+- :mod:`repro.obs.stats` -- :class:`QueryStats`, the per-query aggregate
+  (phase timings + counters + result measures) every DPS entry point
+  accepts via ``stats=``;
+- :mod:`repro.obs.trace` -- :class:`TraceRecorder`, nested spans for the
+  RoadPart index build (``build_index(..., trace=...)``).
+
+All three are default-off: when the caller passes nothing, the
+``NULL_*`` no-op singletons keep the instrumented code paths
+unconditional at near-zero cost.  See ``docs/observability.md`` for the
+field reference and worked examples.
+"""
+
+from repro.obs.counters import (
+    NULL_COUNTERS,
+    NullCounters,
+    SearchCounters,
+    field_names,
+)
+from repro.obs.stats import NULL_STATS, NullQueryStats, QueryStats, resolve_stats
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    Span,
+    TraceRecorder,
+    resolve_trace,
+)
+
+__all__ = [
+    "NULL_COUNTERS",
+    "NULL_STATS",
+    "NULL_TRACE",
+    "NullCounters",
+    "NullQueryStats",
+    "NullTraceRecorder",
+    "QueryStats",
+    "SearchCounters",
+    "Span",
+    "TraceRecorder",
+    "field_names",
+    "resolve_stats",
+    "resolve_trace",
+]

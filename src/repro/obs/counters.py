@@ -1,0 +1,176 @@
+"""Operation counters for the shortest-path engines.
+
+Wall-clock time alone cannot separate an algorithmic win from a
+constant-factor one: the systems literature on road-network queries
+(e.g. Zhu et al.'s experimental study, or the Query-by-Sketch line of
+work) therefore reports *operation counts* -- vertices settled, edges
+relaxed, heap traffic -- alongside seconds.  :class:`SearchCounters` is
+that lens for this repository: one mutable record threaded through every
+SSSP engine via an optional ``counters=`` parameter.
+
+Cost discipline
+---------------
+Instrumentation must cost (almost) nothing when off.  Two rules keep it
+that way:
+
+1. **Hot loops use the batched hooks** (:meth:`SearchCounters.on_settle`,
+   :meth:`SearchCounters.on_stale`): the engine accumulates plain local
+   ints while scanning an adjacency list and reports them with *one*
+   attribute call per settled vertex, never one per edge.
+2. **Disabled means** :data:`NULL_COUNTERS`, a :class:`NullCounters`
+   singleton whose hooks are no-ops and whose fields always read 0 --
+   engines keep a single unconditional code path, and the only residual
+   cost is one no-op method call per settled vertex.
+
+Direct field arithmetic (``counters.heap_pushes += 1``) is fine on cold
+paths (per-search setup, per-bridge bookkeeping); :class:`NullCounters`
+discards such writes too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass
+class SearchCounters:
+    """Operation counts accumulated by one or more searches.
+
+    All fields are monotone event counts; one instance may be shared by
+    several searches (e.g. both directions of a bidirectional search, or
+    every SSSP round of BL-Q) and then holds their sum.
+    """
+
+    #: entries pushed onto a priority queue (including the source seed).
+    heap_pushes: int = 0
+    #: entries popped off a priority queue (settling and stale alike).
+    heap_pops: int = 0
+    #: popped entries discarded because the vertex was already settled
+    #: (the lazy-deletion cost of heapq-style queues).
+    stale_skips: int = 0
+    #: edges scanned from settled vertices (relaxations attempted).
+    edges_relaxed: int = 0
+    #: vertices whose distance was finalised.
+    vertices_settled: int = 0
+    #: expansions rejected by a pruning rule -- the ``allowed``-set
+    #: restriction of a DPS-bound search, or PLL label-cover pruning.
+    expansions_pruned: int = 0
+
+    # -- hot-loop hooks -------------------------------------------------
+
+    def on_settle(self, pops: int, stale: int, relaxed: int,
+                  pushes: int, pruned: int = 0) -> None:
+        """Record one vertex settlement and the heap/edge traffic that
+        led to it.  Engines call this once per settled vertex with
+        locally accumulated tallies (never once per edge)."""
+        self.heap_pops += pops
+        self.stale_skips += stale
+        self.edges_relaxed += relaxed
+        self.heap_pushes += pushes
+        self.vertices_settled += 1
+        self.expansions_pruned += pruned
+
+    def on_stale(self, count: int) -> None:
+        """Record ``count`` stale entries popped outside a settlement
+        (e.g. while peeking at the next frontier key)."""
+        self.heap_pops += count
+        self.stale_skips += count
+
+    # -- arithmetic -----------------------------------------------------
+
+    def merge(self, other: "SearchCounters") -> "SearchCounters":
+        """Add ``other``'s counts into ``self`` (in place); returns self."""
+        for name, value in other.items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
+
+    def __add__(self, other: "SearchCounters") -> "SearchCounters":
+        return self.snapshot().merge(other)
+
+    def __iadd__(self, other: "SearchCounters") -> "SearchCounters":
+        return self.merge(other)
+
+    def diff(self, earlier: "SearchCounters") -> "SearchCounters":
+        """Return the counts accumulated since ``earlier`` (a snapshot)."""
+        return SearchCounters(**{name: value - getattr(earlier, name)
+                                 for name, value in self.items()})
+
+    def snapshot(self) -> "SearchCounters":
+        """Return an independent copy of the current counts."""
+        return SearchCounters(**self.as_dict())
+
+    def reset(self) -> None:
+        """Zero every field."""
+        for name in field_names():
+            setattr(self, name, 0)
+
+    # -- views ----------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        for name in field_names():
+            yield name, getattr(self, name)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return ``{field: count}`` (JSON-ready)."""
+        return dict(self.items())
+
+    @property
+    def total_ops(self) -> int:
+        """Sum of all counts -- a single scalar for coarse comparisons."""
+        return sum(value for _, value in self.items())
+
+    def __bool__(self) -> bool:
+        """True when any operation was recorded."""
+        return any(value for _, value in self.items())
+
+
+def field_names() -> Tuple[str, ...]:
+    """The counter field names, in declaration order (the canonical
+    order for tables and the ``BENCH_*.json`` schema)."""
+    return tuple(f.name for f in fields(SearchCounters))
+
+
+class NullCounters(SearchCounters):
+    """The disabled-instrumentation sink: every write is discarded and
+    every field always reads 0.
+
+    A single shared instance (:data:`NULL_COUNTERS`) is what engines use
+    when no ``counters=`` was passed, keeping the instrumented code path
+    unconditional.
+    """
+
+    # Class attributes shadow the instance fields: reads resolve here
+    # because __setattr__ below never populates the instance dict.
+    heap_pushes = 0
+    heap_pops = 0
+    stale_skips = 0
+    edges_relaxed = 0
+    vertices_settled = 0
+    expansions_pruned = 0
+
+    def __init__(self) -> None:  # noqa: D401 - no state to initialise
+        pass
+
+    def __setattr__(self, name: str, value: object) -> None:
+        pass  # discard every write
+
+    def on_settle(self, pops: int, stale: int, relaxed: int,
+                  pushes: int, pruned: int = 0) -> None:
+        pass
+
+    def on_stale(self, count: int) -> None:
+        pass
+
+    def merge(self, other: SearchCounters) -> "NullCounters":
+        return self
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> SearchCounters:
+        return SearchCounters()
+
+
+#: The process-wide disabled-counters singleton.
+NULL_COUNTERS = NullCounters()

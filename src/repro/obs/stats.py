@@ -1,0 +1,189 @@
+"""Per-query statistics: phase timings + counters + result measures.
+
+A :class:`QueryStats` is created by the *caller* (CLI, bench harness, a
+test) and handed to one of the four DPS entry points, which populates
+it:
+
+>>> from repro.obs import QueryStats
+>>> stats = QueryStats()
+>>> # result = bl_quality(network, query, stats=stats)
+>>> # stats.phases -> {"sssp": ..., "collect": ...}
+
+Phases are coarse (a handful per query, never per vertex), so timing
+them is cheap; the operation counters inside ``stats.counters`` are the
+fine-grained lens and follow the cost rules of
+:mod:`repro.obs.counters`.  When no stats object is passed, entry
+points fall back to :data:`NULL_STATS`, whose phase contexts skip the
+clock reads entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
+
+
+class _PhaseTimer:
+    """Context manager accumulating elapsed seconds into one phase."""
+
+    __slots__ = ("_phases", "_label", "_start")
+
+    def __init__(self, phases: Dict[str, float], label: str) -> None:
+        self._phases = phases
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        phases = self._phases
+        phases[self._label] = phases.get(self._label, 0.0) + elapsed
+
+
+class _NullPhaseTimer:
+    """Shared no-op phase context (the disabled path reads no clock)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhaseTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhaseTimer()
+
+
+@dataclass
+class QueryStats:
+    """Everything one DPS query did: phases, op counts, result measures.
+
+    Fields
+    ------
+    algorithm:
+        Name of the algorithm that populated the stats (``BL-Q``,
+        ``BL-E``, ``RoadPart``, ``ConvexHull``).
+    seconds:
+        Total wall-clock query time.
+    phases:
+        Ordered ``{label: seconds}`` breakdown; re-entering a label
+        accumulates (BL-Q's per-source rounds all land in ``sssp``).
+    counters:
+        The engine-level :class:`SearchCounters` (shared across every
+        search the query ran).
+    result_size:
+        ``|V'|`` of the returned DPS.
+    network_size:
+        ``|V|`` of the queried network.
+    extras:
+        The algorithm-specific measures copied from ``DPSResult.stats``
+        (examined bridges ``b``, valid bridges ``bv``, ``border``, ...).
+    """
+
+    algorithm: str = ""
+    seconds: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+    counters: SearchCounters = field(default_factory=SearchCounters)
+    result_size: int = 0
+    network_size: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def phase(self, label: str) -> _PhaseTimer:
+        """Return a context manager timing one (re-enterable) phase."""
+        return _PhaseTimer(self.phases, label)
+
+    def finish(self, result, network) -> None:
+        """Copy the result-level measures from a ``DPSResult``; called by
+        every entry point just before returning."""
+        self.algorithm = result.algorithm
+        self.seconds = result.seconds
+        self.result_size = result.size
+        self.network_size = network.num_vertices
+        self.extras = dict(result.stats)
+
+    @property
+    def dps_ratio(self) -> float:
+        """``|V'| / |V|`` -- the fraction of the network the DPS keeps."""
+        if not self.network_size:
+            return 0.0
+        return self.result_size / self.network_size
+
+    @property
+    def phase_total(self) -> float:
+        """Sum of the phase timings (≤ ``seconds``; the gap is
+        un-phased overhead such as validation and result assembly)."""
+        return sum(self.phases.values())
+
+    # -- output ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Return a JSON-ready dict (round-trips through ``json``)."""
+        return {
+            "algorithm": self.algorithm,
+            "seconds": self.seconds,
+            "phases": dict(self.phases),
+            "counters": self.counters.as_dict(),
+            "result_size": self.result_size,
+            "network_size": self.network_size,
+            "dps_ratio": self.dps_ratio,
+            "extras": dict(self.extras),
+        }
+
+    def render(self) -> str:
+        """Render a fixed-width stats block for terminal output."""
+        lines: List[str] = []
+        lines.append(f"{self.algorithm} query statistics")
+        lines.append(f"  total          {self.seconds:.6f}s")
+        for label, secs in self.phases.items():
+            share = secs / self.seconds if self.seconds else 0.0
+            lines.append(f"  phase {label:<16} {secs:.6f}s ({share:.0%})")
+        for name, value in self.counters.items():
+            lines.append(f"  {name:<22} {value:,}")
+        lines.append(f"  dps size       {self.result_size:,}"
+                     f" / {self.network_size:,}"
+                     f" ({self.dps_ratio:.1%} of network)")
+        for key in sorted(self.extras):
+            lines.append(f"  {key:<22} {self.extras[key]}")
+        return "\n".join(lines)
+
+
+class NullQueryStats(QueryStats):
+    """The disabled-stats sink: phase contexts skip the clock, writes
+    are discarded, and ``counters`` is :data:`NULL_COUNTERS`."""
+
+    algorithm = ""
+    seconds = 0.0
+    phases: Dict[str, float] = {}
+    counters = NULL_COUNTERS
+    result_size = 0
+    network_size = 0
+    extras: Dict[str, float] = {}
+
+    def __init__(self) -> None:
+        pass
+
+    def __setattr__(self, name: str, value: object) -> None:
+        pass  # discard every write
+
+    def phase(self, label: str) -> _NullPhaseTimer:  # type: ignore[override]
+        return _NULL_PHASE
+
+    def finish(self, result, network) -> None:
+        pass
+
+
+#: The process-wide disabled-stats singleton.
+NULL_STATS = NullQueryStats()
+
+
+def resolve_stats(stats: Optional[QueryStats]) -> QueryStats:
+    """The entry-point idiom: ``stats = resolve_stats(stats)`` maps None
+    to the no-op singleton so the code path stays unconditional."""
+    return NULL_STATS if stats is None else stats

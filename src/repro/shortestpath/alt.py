@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.dijkstra import sssp
 from repro.shortestpath.paths import reconstruct_path
 
@@ -58,12 +59,14 @@ class ALTIndex:
     """
 
     def __init__(self, network: RoadNetwork, landmark_count: int = 8,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 counters: Optional[SearchCounters] = None) -> None:
         if landmark_count < 1:
             raise ValueError("need at least one landmark")
         if network.num_vertices == 0:
             raise ValueError("cannot index an empty network")
         self._network = network
+        self._build_counters = counters
         self.landmarks: List[int] = []
         self._tables: List[List[float]] = []
         n = network.num_vertices
@@ -86,7 +89,7 @@ class ALTIndex:
             current = max(range(n), key=lambda v: (min_dist[v], v))
 
     def _full_distances(self, source: int) -> List[float]:
-        tree = sssp(self._network, source)
+        tree = sssp(self._network, source, counters=self._build_counters)
         if len(tree.dist) != self._network.num_vertices:
             raise ValueError(
                 "ALT requires a connected network; extract the DPS (its"
@@ -119,11 +122,14 @@ class ALTIndex:
                 best = bound
         return best
 
-    def query(self, source: int, target: int) -> ALTQueryResult:
+    def query(self, source: int, target: int,
+              counters: Optional[SearchCounters] = None) -> ALTQueryResult:
         """Answer a point-to-point query with ALT-guided A*."""
         network = self._network
         adjacency = network.adjacency
         tables = self._tables
+        obs = NULL_COUNTERS if counters is None else counters
+        obs.heap_pushes += 1  # the source seed
 
         def h(v: int) -> float:
             best = 0.0
@@ -140,17 +146,22 @@ class ALTIndex:
         settled = set()
         frontier: List[Tuple[float, float, int]] = [(h(source), 0.0, source)]
         expanded = 0
+        stale = 0
         while frontier:
             _, g, u = heapq.heappop(frontier)
             if u in settled:
+                stale += 1
                 continue
             settled.add(u)
             expanded += 1
             if u == target:
+                obs.on_settle(stale + 1, stale, 0, 0)
                 return ALTQueryResult(source, target, g,
                                       reconstruct_path(pred, source, target),
                                       expanded)
-            for v, w in adjacency[u]:
+            neighbours = adjacency[u]
+            pushes = 0
+            for v, w in neighbours:
                 if v in settled:
                     continue
                 candidate = g + w
@@ -159,6 +170,11 @@ class ALTIndex:
                     g_score[v] = candidate
                     pred[v] = u
                     heapq.heappush(frontier, (candidate + h(v), candidate, v))
+                    pushes += 1
+            obs.on_settle(stale + 1, stale, len(neighbours), pushes)
+            stale = 0
+        if stale:
+            obs.on_stale(stale)
         raise ValueError(f"no path from {source} to {target}")
 
     def table_bytes(self) -> int:

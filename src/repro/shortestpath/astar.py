@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.paths import reconstruct_path
 
 
@@ -36,7 +37,8 @@ class AStarResult:
 
 
 def astar(network: RoadNetwork, source: int, target: int,
-          allowed: Optional[Set[int]] = None) -> AStarResult:
+          allowed: Optional[Set[int]] = None,
+          counters: Optional[SearchCounters] = None) -> AStarResult:
     """Return the shortest path from ``source`` to ``target``.
 
     ``allowed`` restricts the search to a vertex subset (running a PPSP
@@ -55,22 +57,33 @@ def astar(network: RoadNetwork, source: int, target: int,
         return math.hypot(c[0] - tx, c[1] - ty)
 
     adjacency = network.adjacency
+    obs = NULL_COUNTERS if counters is None else counters
+    obs.heap_pushes += 1  # the source seed
     g_score: Dict[int, float] = {source: 0.0}
     pred: Dict[int, int] = {}
     settled: Set[int] = set()
     frontier: List[Tuple[float, float, int]] = [(heuristic(source), 0.0, source)]
     expanded = 0
+    stale = 0
     while frontier:
         _, g, u = heapq.heappop(frontier)
         if u in settled:
+            stale += 1
             continue
         settled.add(u)
         expanded += 1
         if u == target:
+            obs.on_settle(stale + 1, stale, 0, 0)
             path = reconstruct_path(pred, source, target)
             return AStarResult(source, target, g, path, expanded)
-        for v, w in adjacency[u]:
-            if v in settled or (allowed is not None and v not in allowed):
+        neighbours = adjacency[u]
+        pushes = 0
+        pruned = 0
+        for v, w in neighbours:
+            if v in settled:
+                continue
+            if allowed is not None and v not in allowed:
+                pruned += 1
                 continue
             candidate = g + w
             known = g_score.get(v)
@@ -79,5 +92,10 @@ def astar(network: RoadNetwork, source: int, target: int,
                 pred[v] = u
                 heapq.heappush(frontier,
                                (candidate + heuristic(v), candidate, v))
+                pushes += 1
+        obs.on_settle(stale + 1, stale, len(neighbours), pushes, pruned)
+        stale = 0
+    if stale:
+        obs.on_stale(stale)
     raise ValueError(f"no path from {source} to {target}"
                      + (" within the allowed set" if allowed is not None else ""))

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import SearchCounters
 from repro.shortestpath.dijkstra import DijkstraSearch
 from repro.shortestpath.paths import reconstruct_path
 
@@ -57,7 +58,9 @@ def _in_domain(dist_near: float, dist_far: float, bridge_weight: float) -> bool:
 
 
 def bridge_domains(network: RoadNetwork, u: int, v: int,
-                   targets: Iterable[int]) -> BridgeDomains:
+                   targets: Iterable[int],
+                   counters: Optional[SearchCounters] = None,
+                   ) -> BridgeDomains:
     """Compute ``UD*`` and ``VD*`` for bridge ``(u, v)`` over ``targets``.
 
     Runs the paper's dual-heap loop: the search (from ``u`` or from ``v``)
@@ -69,8 +72,9 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
     """
     bridge_weight = network.edge_weight(u, v)
     target_set = set(targets)
-    search_u = DijkstraSearch(network, u)
-    search_v = DijkstraSearch(network, v)
+    # One shared counter set: the two directions report as one search.
+    search_u = DijkstraSearch(network, u, counters=counters)
+    search_v = DijkstraSearch(network, v, counters=counters)
     pending_u = set(target_set)
     pending_v = set(target_set)
     while pending_u or pending_v:
@@ -100,6 +104,7 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
 
 def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
                        allowed: Optional[Set[int]] = None,
+                       counters: Optional[SearchCounters] = None,
                        ) -> Tuple[float, List[int]]:
     """Classic bidirectional Dijkstra point-to-point query.
 
@@ -110,8 +115,8 @@ def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
     """
     if source == target:
         return 0.0, [source]
-    forward = DijkstraSearch(network, source, allowed)
-    backward = DijkstraSearch(network, target, allowed)
+    forward = DijkstraSearch(network, source, allowed, counters=counters)
+    backward = DijkstraSearch(network, target, allowed, counters=counters)
     best = math.inf
     meeting = -1
 

@@ -24,9 +24,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 
 #: Witness searches settle at most this many vertices before giving up
 #: (giving up = insert the shortcut; safe).
@@ -179,12 +180,13 @@ class ContractionHierarchy:
     # Queries
     # ------------------------------------------------------------------
 
-    def query(self, source: int, target: int) -> CHQueryResult:
+    def query(self, source: int, target: int,
+              counters: Optional[SearchCounters] = None) -> CHQueryResult:
         """Answer a point-to-point query via bidirectional upward search."""
         if source == target:
             return CHQueryResult(source, target, 0.0, [source], 1)
-        dist_f, pred_f, exp_f = self._upward_sweep(source)
-        dist_b, pred_b, exp_b = self._upward_sweep(target)
+        dist_f, pred_f, exp_f = self._upward_sweep(source, counters)
+        dist_b, pred_b, exp_b = self._upward_sweep(target, counters)
         best = math.inf
         meeting = -1
         probe, other = ((dist_f, dist_b) if len(dist_f) <= len(dist_b)
@@ -201,12 +203,13 @@ class ContractionHierarchy:
         path = self._unpack(up_path_f) + self._unpack(up_path_b)[::-1][1:]
         return CHQueryResult(source, target, best, path, exp_f + exp_b)
 
-    def distance(self, source: int, target: int) -> float:
+    def distance(self, source: int, target: int,
+                 counters: Optional[SearchCounters] = None) -> float:
         """Distance-only query (skips path unpacking)."""
         if source == target:
             return 0.0
-        dist_f, _, _ = self._upward_sweep(source)
-        dist_b, _, _ = self._upward_sweep(target)
+        dist_f, _, _ = self._upward_sweep(source, counters)
+        dist_b, _, _ = self._upward_sweep(target, counters)
         if len(dist_b) < len(dist_f):
             dist_f, dist_b = dist_b, dist_f
         best = math.inf
@@ -216,22 +219,29 @@ class ContractionHierarchy:
                 best = d + d2
         return best
 
-    def _upward_sweep(self, source: int):
+    def _upward_sweep(self, source: int,
+                      counters: Optional[SearchCounters] = None):
         """Dijkstra over the upward graph (exhaustive: the reachable
         upward cone is tiny by construction)."""
         up = self._up
+        obs = NULL_COUNTERS if counters is None else counters
+        obs.heap_pushes += 1  # the source seed
         dist: Dict[int, float] = {}
         pred: Dict[int, int] = {}
         best = {source: 0.0}
         frontier: List[Tuple[float, int]] = [(0.0, source)]
         expanded = 0
+        stale = 0
         while frontier:
             d, u = heapq.heappop(frontier)
             if u in dist:
+                stale += 1
                 continue
             dist[u] = d
             expanded += 1
-            for v, w in up[u]:
+            neighbours = up[u]
+            pushes = 0
+            for v, w in neighbours:
                 if v in dist:
                     continue
                 candidate = d + w
@@ -240,6 +250,11 @@ class ContractionHierarchy:
                     best[v] = candidate
                     pred[v] = u
                     heapq.heappush(frontier, (candidate, v))
+                    pushes += 1
+            obs.on_settle(stale + 1, stale, len(neighbours), pushes)
+            stale = 0
+        if stale:
+            obs.on_stale(stale)
         return dist, pred, expanded
 
     @staticmethod

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 
 
 class DensePPSPEngine:
@@ -50,12 +51,15 @@ class DensePPSPEngine:
         return self._network
 
     def query(self, source: int, target: int,
+              counters: Optional[SearchCounters] = None,
               ) -> Tuple[float, List[int], int]:
         """Return ``(distance, path, expanded_vertex_count)``.
 
         Raises ValueError when no path exists.
         """
         network = self._network
+        obs = NULL_COUNTERS if counters is None else counters
+        obs.heap_pushes += 1  # the source seed
         if self._reuse:
             self._generation += 1
         else:
@@ -80,13 +84,16 @@ class DensePPSPEngine:
             (math.hypot(coords[source][0] - tx, coords[source][1] - ty),
              0.0, source)]
         expanded = 0
+        stale = 0
         while frontier:
             _, g, u = heapq.heappop(frontier)
             if settled[u] == generation:
+                stale += 1
                 continue
             settled[u] = generation
             expanded += 1
             if u == target:
+                obs.on_settle(stale + 1, stale, 0, 0)
                 path = [target]
                 v = target
                 while v != source:
@@ -94,7 +101,9 @@ class DensePPSPEngine:
                     path.append(v)
                 path.reverse()
                 return g, path, expanded
-            for v, w in adjacency[u]:
+            neighbours = adjacency[u]
+            pushes = 0
+            for v, w in neighbours:
                 if settled[v] == generation:
                     continue
                 candidate = g + w
@@ -107,4 +116,9 @@ class DensePPSPEngine:
                         frontier,
                         (candidate + math.hypot(c[0] - tx, c[1] - ty),
                          candidate, v))
+                    pushes += 1
+            obs.on_settle(stale + 1, stale, len(neighbours), pushes)
+            stale = 0
+        if stale:
+            obs.on_stale(stale)
         raise ValueError(f"no path from {source} to {target}")

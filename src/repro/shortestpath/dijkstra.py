@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.paths import reconstruct_path
 
 
@@ -65,7 +66,8 @@ class DijkstraSearch:
     """
 
     def __init__(self, network: RoadNetwork, source: int,
-                 allowed: Optional[Set[int]] = None) -> None:
+                 allowed: Optional[Set[int]] = None,
+                 counters: Optional[SearchCounters] = None) -> None:
         if allowed is not None and source not in allowed:
             raise ValueError(f"source {source} not in the allowed set")
         self._adjacency = network.adjacency
@@ -77,6 +79,10 @@ class DijkstraSearch:
         self._best: Dict[int, float] = {source: 0.0}
         self._frontier: List[Tuple[float, int]] = [(0.0, source)]
         self.expanded = 0  # vertices settled; the VII-C efficiency metric
+        #: Operation counters; shared across resumed stages of this search
+        #: (BL-E's r -> 2r continuation keeps accumulating here).
+        self.counters = NULL_COUNTERS if counters is None else counters
+        self.counters.heap_pushes += 1  # the source seed
 
     # ------------------------------------------------------------------
     # Stepping
@@ -92,8 +98,12 @@ class DijkstraSearch:
         None when the search is exhausted.  Does not advance the search."""
         frontier = self._frontier
         dist = self.dist
+        stale = 0
         while frontier and frontier[0][1] in dist:
             heapq.heappop(frontier)  # stale entry
+            stale += 1
+        if stale:
+            self.counters.on_stale(stale)
         return frontier[0][0] if frontier else None
 
     def is_exhausted(self) -> bool:
@@ -103,9 +113,11 @@ class DijkstraSearch:
         """Settle and return the next ``(vertex, distance)``, or None."""
         frontier = self._frontier
         dist = self.dist
+        stale = 0
         while frontier:
             d, u = heapq.heappop(frontier)
             if u in dist:
+                stale += 1
                 continue
             dist[u] = d
             self.settled_order.append(u)
@@ -113,8 +125,14 @@ class DijkstraSearch:
             best = self._best
             pred = self.pred
             allowed = self._allowed
-            for v, w in self._adjacency[u]:
-                if v in dist or (allowed is not None and v not in allowed):
+            neighbours = self._adjacency[u]
+            pushes = 0
+            pruned = 0
+            for v, w in neighbours:
+                if v in dist:
+                    continue
+                if allowed is not None and v not in allowed:
+                    pruned += 1
                     continue
                 candidate = d + w
                 known = best.get(v)
@@ -122,7 +140,12 @@ class DijkstraSearch:
                     best[v] = candidate
                     pred[v] = u
                     heapq.heappush(frontier, (candidate, v))
+                    pushes += 1
+            self.counters.on_settle(stale + 1, stale, len(neighbours),
+                                    pushes, pruned)
             return u, d
+        if stale:
+            self.counters.on_stale(stale)
         return None
 
     # ------------------------------------------------------------------
@@ -179,7 +202,8 @@ class DijkstraSearch:
 def sssp(network: RoadNetwork, source: int,
          targets: Optional[Iterable[int]] = None,
          radius: Optional[float] = None,
-         allowed: Optional[Set[int]] = None) -> ShortestPathTree:
+         allowed: Optional[Set[int]] = None,
+         counters: Optional[SearchCounters] = None) -> ShortestPathTree:
     """Run a Dijkstra search and return its shortest-path tree.
 
     ``targets`` and ``radius`` each bound the search (whichever applies
@@ -187,7 +211,7 @@ def sssp(network: RoadNetwork, source: int,
     continues out to the radius).  With neither, the search exhausts the
     reachable graph.
     """
-    search = DijkstraSearch(network, source, allowed)
+    search = DijkstraSearch(network, source, allowed, counters=counters)
     if targets is not None:
         search.run_until_settled(targets)
     if radius is not None:

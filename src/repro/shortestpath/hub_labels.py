@@ -24,6 +24,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
 
 
 class HubLabelIndex:
@@ -41,8 +42,10 @@ class HubLabelIndex:
     """
 
     def __init__(self, network: RoadNetwork,
-                 order: Optional[Sequence[int]] = None) -> None:
+                 order: Optional[Sequence[int]] = None,
+                 counters: Optional[SearchCounters] = None) -> None:
         self._network = network
+        self._build_counters = NULL_COUNTERS if counters is None else counters
         n = network.num_vertices
         if order is None:
             order = sorted(network.vertices(),
@@ -63,12 +66,16 @@ class HubLabelIndex:
         labels = self._labels
         hub_label = labels[hub]
         adjacency = network.adjacency
+        obs = self._build_counters
+        obs.heap_pushes += 1  # the hub seed
         dist: Dict[int, float] = {}
         frontier: List[Tuple[float, int]] = [(0.0, hub)]
         best = {hub: 0.0}
+        stale = 0
         while frontier:
             d, u = heapq.heappop(frontier)
             if u in dist:
+                stale += 1
                 continue
             dist[u] = d
             # Pruning: if some already-placed hub h certifies a path
@@ -81,9 +88,13 @@ class HubLabelIndex:
                     covered = True
                     break
             if covered:
+                obs.on_settle(stale + 1, stale, 0, 0, pruned=1)
+                stale = 0
                 continue
             labels[u][hub] = d
-            for v, w in adjacency[u]:
+            neighbours = adjacency[u]
+            pushes = 0
+            for v, w in neighbours:
                 if v in dist:
                     continue
                 candidate = d + w
@@ -91,6 +102,11 @@ class HubLabelIndex:
                 if known is None or candidate < known:
                     best[v] = candidate
                     heapq.heappush(frontier, (candidate, v))
+                    pushes += 1
+            obs.on_settle(stale + 1, stale, len(neighbours), pushes)
+            stale = 0
+        if stale:
+            obs.on_stale(stale)
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,8 +1,20 @@
 """Unit tests for the benchmark measures."""
 
+import json
+
 import pytest
 
-from repro.bench.metrics import AlgorithmMeasure, v_ratio
+from repro.bench.metrics import (
+    BENCH_SCHEMA,
+    AlgorithmMeasure,
+    bench_payload,
+    bench_row,
+    median,
+    quantile,
+    v_ratio,
+    validate_bench_payload,
+)
+from repro.bench.reporting import write_bench_json
 from repro.bench.timing import Timer, timed
 from repro.core.dps import DPSQuery, DPSResult
 
@@ -51,3 +63,88 @@ class TestTiming:
         value, seconds = timed(lambda: 42)
         assert value == 42
         assert seconds >= 0
+
+
+class TestQuantiles:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_quantile_interpolates(self):
+        assert quantile([0.0, 10.0], 0.95) == pytest.approx(9.5)
+        assert quantile([5.0], 0.95) == 5.0
+        assert quantile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert quantile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_measure_derives_from_samples(self):
+        m = AlgorithmMeasure("A", 0.2, 5, samples=[0.3, 0.1, 0.2])
+        assert m.median_seconds == 0.2
+        assert m.repeats == 3
+        assert m.p95_seconds == pytest.approx(quantile([0.1, 0.2, 0.3],
+                                                       0.95))
+
+    def test_measure_without_samples_falls_back(self):
+        m = AlgorithmMeasure("A", 0.7, 5)
+        assert m.median_seconds == 0.7
+        assert m.p95_seconds == 0.7
+        assert m.repeats == 1
+
+
+class TestBenchSchema:
+    def _measure(self):
+        m = AlgorithmMeasure("BL-E", 0.2, 40, samples=[0.2, 0.25, 0.19])
+        m.counters = {"heap_pushes": 10, "heap_pops": 9, "stale_skips": 1,
+                      "edges_relaxed": 30, "vertices_settled": 8,
+                      "expansions_pruned": 0}
+        return m
+
+    def test_valid_payload(self):
+        payload = bench_payload(
+            [bench_row("table2-qdps", "COL-S", self._measure(),
+                       epsilon=0.1)])
+        assert payload["schema"] == BENCH_SCHEMA
+        assert validate_bench_payload(payload) == []
+
+    def test_counters_optional_but_checked(self):
+        row = bench_row("e", "d", self._measure())
+        row["counters"]["not_a_counter"] = 1
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("not_a_counter" in p for p in problems)
+
+    def test_missing_field_detected(self):
+        row = bench_row("e", "d", self._measure())
+        del row["median_seconds"]
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("median_seconds" in p for p in problems)
+
+    def test_wrong_schema_tag(self):
+        problems = validate_bench_payload({"schema": "v0", "rows": []})
+        assert any("schema" in p for p in problems)
+
+    def test_negative_and_bool_rejected(self):
+        row = bench_row("e", "d", self._measure())
+        row["median_seconds"] = -1.0
+        row["repeats"] = True
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("negative" in p for p in problems)
+        assert any("repeats" in p for p in problems)
+
+    def test_write_bench_json_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_json(path, [bench_row("e", "d", self._measure())])
+        payload = json.loads(path.read_text())
+        assert validate_bench_payload(payload) == []
+        assert payload["rows"][0]["algorithm"] == "BL-E"
+
+    def test_write_refuses_invalid(self, tmp_path):
+        row = bench_row("e", "d", self._measure())
+        del row["dps_size"]
+        with pytest.raises(ValueError, match="invalid bench baseline"):
+            write_bench_json(tmp_path / "bad.json", [row])
+        assert not (tmp_path / "bad.json").exists()

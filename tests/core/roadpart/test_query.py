@@ -66,19 +66,20 @@ class TestWindowModes:
 class TestBridgeHandling:
     def test_pruning_toggles_only_add_examined(self, medium_network,
                                                medium_index, medium_query):
-        full = RoadPartQueryProcessor(medium_index)
+        default = RoadPartQueryProcessor(medium_index)
         no_cor3 = RoadPartQueryProcessor(medium_index,
                                          prune_corollary3=False)
-        no_thm7 = RoadPartQueryProcessor(medium_index,
-                                         prune_theorem7=False)
+        paper_thm7 = RoadPartQueryProcessor(medium_index,
+                                            prune_theorem7=True)
         everything = RoadPartQueryProcessor(medium_index,
                                             examine_all_bridges=True)
-        b_full = full.query(medium_query).stats["b"]
+        b_default = default.query(medium_query).stats["b"]
         b_cor3 = no_cor3.query(medium_query).stats["b"]
-        b_thm7 = no_thm7.query(medium_query).stats["b"]
+        b_thm7 = paper_thm7.query(medium_query).stats["b"]
         b_all = everything.query(medium_query).stats["b"]
-        assert b_full <= b_cor3 <= b_all
-        assert b_full <= b_thm7 <= b_all
+        assert b_default <= b_cor3 <= b_all
+        # the paper's Theorem 7 only ever removes examinations
+        assert b_thm7 <= b_default <= b_all
         assert b_all == len(medium_index.bridges)
 
     def test_pruned_and_unpruned_agree_on_validity(self, medium_network,
@@ -119,6 +120,27 @@ class TestBridgeCorrectness:
         query = DPSQuery.q_query([6, 13, 0])
         result = roadpart_dps(index, query)
         assert verify_dps(bridge_network, result, query).ok
+
+    def test_theorem7_can_drop_a_needed_bridge(self):
+        """Regression for the Hypothesis-found counterexample that made
+        ``prune_theorem7`` default to off: on this network the paper's
+        Theorem 7 prunes the crossed grid edge (121, 135) -- wholly
+        outside earlier window boundaries but the shortcut the only
+        shortest path 0-152 runs over -- so the pruned DPS breaks the
+        distance while the default (no Theorem 7) preserves it."""
+        from repro.core.roadpart.index import build_index
+        from repro.datasets.synthetic import add_bridges, grid_network
+        base = grid_network(14, 13, seed=4, drop_rate=0.15)
+        network, _ = add_bridges(base, 1, (1.8, 4.5), seed=1004)
+        index = build_index(network, border_count=5)
+        query = DPSQuery.q_query([0, 152])
+        sound = roadpart_dps(index, query)
+        assert verify_dps(network, sound, query).ok
+        paper = RoadPartQueryProcessor(
+            index, prune_theorem7=True).query(query)
+        assert not verify_dps(network, paper, query).ok, (
+            "the paper's Theorem 7 no longer breaks this query -- "
+            "re-evaluate whether the prune can be back on by default")
 
     def test_wide_query_keeps_examined_bridges_tiny(self, medium_network,
                                                     medium_index):

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.obs.counters`."""
+
+import json
+
+from repro.obs.counters import (
+    NULL_COUNTERS,
+    NullCounters,
+    SearchCounters,
+    field_names,
+)
+
+
+class TestSearchCounters:
+    def test_starts_at_zero(self):
+        c = SearchCounters()
+        assert c.as_dict() == {name: 0 for name in field_names()}
+        assert not c
+        assert c.total_ops == 0
+
+    def test_on_settle_tallies(self):
+        c = SearchCounters()
+        c.on_settle(pops=3, stale=2, relaxed=4, pushes=2, pruned=1)
+        assert c.heap_pops == 3
+        assert c.stale_skips == 2
+        assert c.edges_relaxed == 4
+        assert c.heap_pushes == 2
+        assert c.vertices_settled == 1
+        assert c.expansions_pruned == 1
+        assert bool(c)
+
+    def test_on_stale(self):
+        c = SearchCounters()
+        c.on_stale(5)
+        assert c.heap_pops == 5
+        assert c.stale_skips == 5
+        assert c.vertices_settled == 0
+
+    def test_merge_and_add(self):
+        a = SearchCounters(heap_pushes=2, vertices_settled=1)
+        b = SearchCounters(heap_pushes=3, edges_relaxed=7)
+        total = a + b
+        assert total.heap_pushes == 5
+        assert total.edges_relaxed == 7
+        assert a.heap_pushes == 2  # __add__ leaves operands alone
+        a.merge(b)
+        assert a.heap_pushes == 5  # merge mutates in place
+
+    def test_iadd(self):
+        a = SearchCounters(heap_pops=1)
+        a += SearchCounters(heap_pops=4)
+        assert a.heap_pops == 5
+
+    def test_diff_against_snapshot(self):
+        c = SearchCounters()
+        c.on_settle(1, 0, 3, 2)
+        before = c.snapshot()
+        c.on_settle(2, 1, 4, 3)
+        delta = c.diff(before)
+        assert delta.vertices_settled == 1
+        assert delta.heap_pops == 2
+        assert delta.edges_relaxed == 4
+        # snapshot is independent of the live object
+        assert before.vertices_settled == 1
+
+    def test_reset(self):
+        c = SearchCounters(heap_pushes=9)
+        c.reset()
+        assert not c
+
+    def test_as_dict_json_roundtrip(self):
+        c = SearchCounters(heap_pushes=2, stale_skips=1)
+        assert json.loads(json.dumps(c.as_dict())) == c.as_dict()
+
+    def test_field_names_order(self):
+        assert field_names() == ("heap_pushes", "heap_pops", "stale_skips",
+                                 "edges_relaxed", "vertices_settled",
+                                 "expansions_pruned")
+
+
+class TestNullCounters:
+    def test_singleton_reads_zero_after_writes(self):
+        NULL_COUNTERS.heap_pushes += 100
+        NULL_COUNTERS.on_settle(5, 2, 9, 4, pruned=3)
+        NULL_COUNTERS.on_stale(7)
+        assert NULL_COUNTERS.heap_pushes == 0
+        assert NULL_COUNTERS.as_dict() == {n: 0 for n in field_names()}
+        assert not NULL_COUNTERS
+
+    def test_merge_discards(self):
+        out = NULL_COUNTERS.merge(SearchCounters(heap_pops=5))
+        assert out is NULL_COUNTERS
+        assert NULL_COUNTERS.heap_pops == 0
+
+    def test_snapshot_returns_real_counters(self):
+        snap = NULL_COUNTERS.snapshot()
+        assert type(snap) is SearchCounters
+        snap.heap_pushes += 1  # writable, unlike the null object
+        assert snap.heap_pushes == 1
+        assert NULL_COUNTERS.heap_pushes == 0
+
+    def test_is_a_searchcounters(self):
+        # Engines annotate `counters: SearchCounters`; the null object
+        # must satisfy the same interface.
+        assert isinstance(NULL_COUNTERS, SearchCounters)
+        assert isinstance(NULL_COUNTERS, NullCounters)

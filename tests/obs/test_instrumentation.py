@@ -1,0 +1,156 @@
+"""Integration tests: the counters the engines report are consistent
+with what the searches actually did, and instrumentation never changes
+results."""
+
+import pytest
+
+from repro.core.ble import run_ble_search
+from repro.core.dps import DPSQuery
+from repro.core.roadpart.index import build_index
+from repro.core.roadpart.query import roadpart_dps
+from repro.datasets.queries import window_query
+from repro.obs.counters import SearchCounters
+from repro.obs.stats import QueryStats
+from repro.obs.trace import TraceRecorder
+from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_ppsp
+from repro.shortestpath.dijkstra import DijkstraSearch, sssp
+
+
+class TestEngineCounterConsistency:
+    def test_sssp_exhaustive_invariants(self, medium_network):
+        counters = SearchCounters()
+        tree = sssp(medium_network, 0, counters=counters)
+        n = medium_network.num_vertices
+        assert counters.vertices_settled == len(tree.dist) == n
+        assert counters.heap_pops <= counters.heap_pushes
+        # every pop either settled a vertex or was stale
+        assert counters.heap_pops == (counters.vertices_settled
+                                      + counters.stale_skips)
+        # an exhaustive run pops everything it pushed
+        assert counters.heap_pops == counters.heap_pushes
+        # undirected graph: each edge scanned once per endpoint settle
+        assert counters.edges_relaxed == 2 * medium_network.num_edges
+
+    def test_bounded_search_invariants(self, medium_network):
+        counters = SearchCounters()
+        search = DijkstraSearch(medium_network, 3, counters=counters)
+        search.run_until_settled([100, 200, 400])
+        assert counters.vertices_settled == len(search.dist)
+        assert counters.heap_pops <= counters.heap_pushes
+        assert counters.heap_pops == (counters.vertices_settled
+                                      + counters.stale_skips)
+
+    def test_allowed_filter_counts_pruned(self, medium_network):
+        allowed = set(range(medium_network.num_vertices // 2))
+        counters = SearchCounters()
+        search = DijkstraSearch(medium_network, 0, allowed=allowed,
+                                counters=counters)
+        while search.settle_next() is not None:
+            pass
+        assert counters.expansions_pruned > 0
+        assert counters.vertices_settled == len(search.dist)
+
+    def test_bidirectional_shares_one_counter_set(self, medium_network):
+        counters = SearchCounters()
+        distance, _ = bidirectional_ppsp(medium_network, 0,
+                                         medium_network.num_vertices - 1,
+                                         counters=counters)
+        baseline, _ = bidirectional_ppsp(medium_network, 0,
+                                         medium_network.num_vertices - 1)
+        assert distance == baseline  # instrumentation changes nothing
+        assert counters.vertices_settled > 0
+        assert counters.heap_pops == (counters.vertices_settled
+                                      + counters.stale_skips)
+
+    def test_astar_counters(self, medium_network):
+        counters = SearchCounters()
+        result = astar(medium_network, 0, medium_network.num_vertices - 1,
+                       counters=counters)
+        # A* stops at the target: settles == expanded vertices
+        assert counters.vertices_settled == result.expanded
+        assert counters.heap_pops <= counters.heap_pushes
+
+
+class TestBLEResumeAccumulation:
+    def test_counters_accumulate_across_r_to_2r(self, medium_network):
+        """The staged BL-E search (settle query, then extend to 2r) is
+        one resumable Dijkstra; its counter set must cover both stages,
+        never reset between them."""
+        query = DPSQuery.q_query(
+            window_query(medium_network, 0.2, seed=5))
+        counters = SearchCounters()
+        outcome = run_ble_search(medium_network, query, counters=counters)
+        # everything the staged search settled is counted
+        assert counters.vertices_settled == len(outcome.search.dist)
+        assert counters.heap_pops == (counters.vertices_settled
+                                      + counters.stale_skips)
+
+        # phase breakdown covers both stages with the same counter set
+        stats = QueryStats()
+        outcome2 = run_ble_search(medium_network, query, stats=stats)
+        assert stats.counters.vertices_settled == len(outcome2.search.dist)
+        assert {"center", "settle-query", "extend-2r"} <= set(stats.phases)
+
+
+class TestDPSEntryPoints:
+    ALGORITHMS = ("blq", "ble", "hull", "roadpart")
+
+    @pytest.fixture()
+    def query(self, medium_network):
+        return DPSQuery.q_query(window_query(medium_network, 0.25,
+                                             seed=21))
+
+    def test_all_four_populate_stats(self, medium_network, medium_index,
+                                     query):
+        from repro.core.ble import bl_efficiency
+        from repro.core.blq import bl_quality
+        from repro.core.hull import convex_hull_dps
+        runs = {
+            "BL-Q": lambda s: bl_quality(medium_network, query, stats=s),
+            "BL-E": lambda s: bl_efficiency(medium_network, query,
+                                            stats=s),
+            "ConvexHull": lambda s: convex_hull_dps(medium_network, query,
+                                                    stats=s),
+            "RoadPart": lambda s: roadpart_dps(medium_index, query,
+                                               stats=s),
+        }
+        for name, run in runs.items():
+            stats = QueryStats()
+            result = run(stats)
+            assert stats.algorithm == name == result.algorithm
+            assert stats.result_size == result.size
+            assert stats.counters.vertices_settled > 0, name
+            assert stats.phases, name
+            # phases never take longer than the whole query
+            assert stats.phase_total <= stats.seconds * 1.5, name
+
+    def test_stats_do_not_change_results(self, medium_network,
+                                         medium_index, query):
+        with_stats = roadpart_dps(medium_index, query, stats=QueryStats())
+        without = roadpart_dps(medium_index, query)
+        assert with_stats.vertices == without.vertices
+
+    def test_roadpart_bridge_phases(self, medium_index, query):
+        stats = QueryStats()
+        result = roadpart_dps(medium_index, query, stats=stats)
+        assert {"window", "region-prune"} <= set(stats.phases)
+        if result.stats["b"]:
+            assert "bridge-domains" in stats.phases
+
+
+class TestBuildTrace:
+    def test_build_index_records_span_tree(self, medium_network):
+        trace = TraceRecorder()
+        index = build_index(medium_network, border_count=4, trace=trace)
+        labels = [s.label for s in trace.spans]
+        assert labels == ["bridges", "contour", "labeling"]
+        labeling = trace.find("labeling")
+        rounds = [c.label for c in labeling.children]
+        assert rounds == [f"round-{i}" for i in range(4)]
+        for round_span in labeling.children:
+            child_labels = [c.label for c in round_span.children]
+            assert child_labels[:2] == ["cuts", "flood"]
+        # span timings roughly agree with the build's own stopwatch
+        assert trace.find("labeling").seconds == pytest.approx(
+            index.stats.labeling_seconds, rel=0.5)

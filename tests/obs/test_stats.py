@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.obs.stats` and :mod:`repro.obs.trace`."""
+
+import json
+import time
+
+from repro.obs.stats import NULL_STATS, QueryStats, resolve_stats
+from repro.obs.trace import (
+    NULL_TRACE,
+    TraceRecorder,
+    active,
+    resolve_trace,
+    span,
+    use,
+)
+
+
+class TestQueryStats:
+    def test_phase_accumulates_on_reentry(self):
+        stats = QueryStats()
+        for _ in range(3):
+            with stats.phase("sssp"):
+                time.sleep(0.001)
+        assert list(stats.phases) == ["sssp"]
+        assert stats.phases["sssp"] >= 0.003
+        assert stats.phase_total == sum(stats.phases.values())
+
+    def test_finish_copies_result_measures(self, grid5):
+        from repro.core.blq import bl_quality
+        from repro.core.dps import DPSQuery
+        stats = QueryStats()
+        result = bl_quality(grid5, DPSQuery.q_query([0, 24]), stats=stats)
+        assert stats.algorithm == "BL-Q"
+        assert stats.seconds == result.seconds
+        assert stats.result_size == result.size
+        assert stats.network_size == grid5.num_vertices
+        assert stats.extras == dict(result.stats)
+        assert 0 < stats.dps_ratio <= 1
+
+    def test_to_dict_json_roundtrip(self):
+        stats = QueryStats()
+        with stats.phase("work"):
+            pass
+        stats.counters.on_settle(1, 0, 2, 1)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["phases"].keys() == {"work"}
+        assert payload["counters"]["vertices_settled"] == 1
+
+    def test_render_mentions_every_counter_field(self):
+        from repro.obs.counters import field_names
+        stats = QueryStats(algorithm="X", seconds=1.0, result_size=5,
+                           network_size=10)
+        text = stats.render()
+        for name in field_names():
+            assert name in text
+
+
+class TestNullQueryStats:
+    def test_discards_everything(self):
+        NULL_STATS.algorithm = "evil"
+        NULL_STATS.result_size = 99
+        assert NULL_STATS.algorithm == ""
+        assert NULL_STATS.result_size == 0
+
+    def test_phase_is_noop(self):
+        with NULL_STATS.phase("anything"):
+            pass
+        assert NULL_STATS.phases == {}
+
+    def test_counters_are_null(self):
+        NULL_STATS.counters.on_settle(1, 0, 1, 1)
+        assert not NULL_STATS.counters
+
+    def test_resolve(self):
+        assert resolve_stats(None) is NULL_STATS
+        real = QueryStats()
+        assert resolve_stats(real) is real
+
+
+class TestTraceRecorder:
+    def test_nesting(self):
+        trace = TraceRecorder()
+        with trace.span("build"):
+            with trace.span("inner-a"):
+                pass
+            with trace.span("inner-b"):
+                pass
+        assert [s.label for s in trace.spans] == ["build"]
+        assert [c.label for c in trace.spans[0].children] == ["inner-a",
+                                                              "inner-b"]
+        assert trace.spans[0].seconds >= sum(
+            c.seconds for c in trace.spans[0].children)
+
+    def test_find_and_walk(self):
+        trace = TraceRecorder()
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+        assert trace.find("b").label == "b"
+        assert trace.find("zzz") is None
+        assert [s.label for s in trace.root.walk()] == ["root", "a", "b"]
+
+    def test_to_dict_json_roundtrip(self):
+        trace = TraceRecorder()
+        with trace.span("x"):
+            with trace.span("y"):
+                pass
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["spans"][0]["label"] == "x"
+        assert payload["spans"][0]["children"][0]["label"] == "y"
+
+    def test_render_indents(self):
+        trace = TraceRecorder()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        lines = trace.render().splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+    def test_ambient_span_targets_active_recorder(self):
+        trace = TraceRecorder()
+        assert active() is NULL_TRACE
+        with use(trace):
+            assert active() is trace
+            with span("ambient"):
+                pass
+        assert active() is NULL_TRACE
+        assert trace.find("ambient") is not None
+
+    def test_null_trace_records_nothing(self):
+        with NULL_TRACE.span("whatever"):
+            pass
+        assert NULL_TRACE.spans == []
+
+    def test_resolve(self):
+        assert resolve_trace(None) is NULL_TRACE
+        real = TraceRecorder()
+        assert resolve_trace(real) is real

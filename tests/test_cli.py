@@ -104,6 +104,74 @@ class TestBuildAndQuery:
         assert "--index" in capsys.readouterr().err
 
 
+class TestStatsFlags:
+    @pytest.fixture()
+    def built_index(self, generated_map, tmp_path):
+        out = tmp_path / "map.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "6", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def _query_argv(self, generated_map, built_index, algorithm):
+        argv = ["query", "--graph", f"{generated_map}.gr",
+                "--coords", f"{generated_map}.co",
+                "--algorithm", algorithm, "--epsilon", "0.25",
+                "--seed", "2"]
+        if algorithm == "roadpart":
+            argv += ["--index", str(built_index)]
+        return argv
+
+    @pytest.mark.parametrize("algorithm",
+                             ["blq", "ble", "hull", "roadpart"])
+    def test_stats_json_roundtrips(self, generated_map, built_index,
+                                   capsys, algorithm):
+        argv = self._query_argv(generated_map, built_index, algorithm)
+        assert main(argv + ["--stats-json"]) == 0
+        captured = capsys.readouterr()
+        # stdout must be one pure JSON document; chatter goes to stderr
+        payload = json.loads(captured.out)
+        assert payload.keys() >= {"algorithm", "seconds", "phases",
+                                  "counters", "result_size",
+                                  "network_size"}
+        assert payload["counters"]["vertices_settled"] > 0
+        assert payload["phases"]
+        assert "DPS" in captured.err
+
+    def test_stats_renders_human_report(self, generated_map, built_index,
+                                        capsys):
+        argv = self._query_argv(generated_map, built_index, "ble")
+        assert main(argv + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "query statistics" in out
+        assert "vertices_settled" in out
+        assert "extend-2r" in out
+
+    def test_build_index_stats_json(self, generated_map, tmp_path,
+                                    capsys):
+        out = tmp_path / "traced.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "5", "--out", str(out),
+                     "--stats-json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        labels = [s["label"] for s in payload["spans"]]
+        assert labels == ["bridges", "contour", "labeling"]
+
+    def test_build_index_stats_render(self, generated_map, tmp_path,
+                                      capsys):
+        out = tmp_path / "traced.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "5", "--out", str(out), "--stats"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "labeling" in text
+        assert "  round-0" in text
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m(self, tmp_path):
         result = subprocess.run(

@@ -1,0 +1,85 @@
+"""Doc-drift guards: the observability docs must keep naming the real
+counter fields and phase labels, and the README must link the docs.
+
+These are deliberately shallow greps — they catch renames that would
+silently strand the documentation, not prose quality."""
+
+import pathlib
+
+import pytest
+
+from repro.obs.counters import field_names
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# Phase labels each DPS entry point emits (see docs/observability.md).
+PHASE_LABELS = {
+    "BL-Q": ["sssp", "collect"],
+    "BL-E": ["center", "settle-query", "extend-2r"],
+    "ConvexHull": ["hull-membership", "crossing-border",
+                   "connect-borders"],
+    "RoadPart": ["window", "region-prune", "bridge-classify",
+                 "cor3-ble", "bridge-domains", "path-patch"],
+}
+
+# Span labels the index build records.
+TRACE_LABELS = ["bridges", "contour", "labeling", "cuts", "flood",
+                "pockets"]
+
+
+@pytest.fixture(scope="module")
+def observability_doc():
+    return (REPO_ROOT / "docs" / "observability.md").read_text()
+
+
+class TestObservabilityDoc:
+    def test_documents_every_counter_field(self, observability_doc):
+        for name in field_names():
+            assert name in observability_doc, (
+                f"counter field {name!r} missing from "
+                "docs/observability.md")
+
+    def test_documents_every_phase_label(self, observability_doc):
+        for algorithm, labels in PHASE_LABELS.items():
+            for label in labels:
+                assert label in observability_doc, (
+                    f"{algorithm} phase {label!r} missing from "
+                    "docs/observability.md")
+
+    def test_documents_trace_spans(self, observability_doc):
+        for label in TRACE_LABELS:
+            assert label in observability_doc
+
+    def test_documents_cli_flags_and_schema(self, observability_doc):
+        from repro.bench.metrics import BENCH_SCHEMA
+        assert "--stats" in observability_doc
+        assert "--stats-json" in observability_doc
+        assert BENCH_SCHEMA in observability_doc
+
+    def test_phase_labels_match_source(self):
+        """The grep targets above must themselves track the code."""
+        sources = {
+            "BL-Q": "src/repro/core/blq.py",
+            "BL-E": "src/repro/core/ble.py",
+            "ConvexHull": "src/repro/core/hull.py",
+            "RoadPart": "src/repro/core/roadpart/query.py",
+        }
+        for algorithm, rel in sources.items():
+            code = (REPO_ROOT / rel).read_text()
+            for label in PHASE_LABELS[algorithm]:
+                assert f'"{label}"' in code, (
+                    f"phase {label!r} not found in {rel}; update "
+                    "PHASE_LABELS and docs/observability.md together")
+
+
+class TestReadmeLinks:
+    def test_readme_links_new_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/observability.md" in readme
+
+    def test_architecture_doc_names_all_subsystems(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for package in ("repro.graph", "repro.shortestpath", "repro.core",
+                        "repro.obs", "repro.bench", "repro.datasets"):
+            assert package in doc
