@@ -135,6 +135,28 @@ def _run_sec7c(small: bool = False) -> None:
          "lazy A* (s)", "expanded (lazy)"], cells))
 
 
+def _run_sssp(small: bool = False, check: bool = False) -> bool:
+    """Engine microbenchmark; returns False when the flat kernel loses
+    (the ``--check`` CI guard)."""
+    from repro.bench.experiments.sssp import run_sssp, speedup
+    measures = run_sssp(source_count=4 if small else None,
+                        repeats=2 if small else 3)
+    ratio = speedup(measures)
+    _emit("sssp", render_table(
+        f"SSSP kernel microbenchmark -- full sweeps on"
+        f" {measures[0].dataset} (flat/dict speedup {ratio:.2f}x)",
+        ["engine", "sweeps", "settled", "median (s)", "sweeps/s",
+         "settled/s"],
+        [[m.engine, m.sweeps, m.vertices_settled, round(m.seconds, 4),
+          round(m.sweeps_per_second, 2), round(m.settled_per_second)]
+         for m in measures]))
+    if check and ratio <= 1.0:
+        print(f"FAIL: flat kernel is not faster than the dict engine"
+              f" (speedup {ratio:.2f}x)", file=sys.stderr)
+        return False
+    return True
+
+
 def _run_ablations(small: bool = False) -> None:
     from repro.bench.experiments.ablations import (
         run_bridge_pruning,
@@ -169,21 +191,28 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "fig11": _run_fig11,
     "sec7c": _run_sec7c,
     "ablations": _run_ablations,
+    "sssp": _run_sssp,
 }
 
 
 def main(argv: List[str]) -> int:
     small = "--small" in argv
-    names = [a for a in argv if a != "--small"]
+    check = "--check" in argv
+    names = [a for a in argv if a not in ("--small", "--check")]
     names = names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown};"
               f" available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    status = 0
     for name in names:
-        EXPERIMENTS[name](small=small)
-    return 0
+        if name == "sssp":
+            if _run_sssp(small=small, check=check) is False:
+                status = 1
+        else:
+            EXPERIMENTS[name](small=small)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,102 @@
+"""SSSP kernel microbenchmark: dict engine vs flat CSR kernel.
+
+Every algorithm in the reproduction bottoms out in Dijkstra sweeps, so
+this experiment times the kernels head-to-head with no algorithm on
+top: full single-source sweeps over a Table II-scale stand-in network,
+one search per source, same sources for both engines.  Both engines
+settle exactly the same vertices in the same order (the flat kernel's
+operation-equivalence contract), so the settled counts double as a
+cross-check and ``settled vertices / second`` is a fair throughput
+metric.
+
+``python -m repro.bench sssp --check`` fails (exit 1) when the flat
+kernel is not faster than the dict engine -- the CI smoke guard for the
+perf contract of :mod:`repro.shortestpath.flat`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bench.experiments.common import dataset_network
+from repro.bench.metrics import median
+from repro.shortestpath.flat import make_search, release_search
+
+#: Table II-scale stand-in (see repro.datasets.catalog).
+SSSP_DATASET = "EAST-S"
+SSSP_SOURCE_COUNT = 12
+SSSP_REPEATS = 5
+
+
+@dataclass
+class SSSPMeasure:
+    """One engine's sweep timings."""
+
+    dataset: str
+    engine: str
+    sweeps: int
+    vertices_settled: int  #: total over all sweeps of one repeat
+    seconds: float         #: median over the repeats
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def sweeps_per_second(self) -> float:
+        return self.sweeps / self.seconds
+
+    @property
+    def settled_per_second(self) -> float:
+        return self.vertices_settled / self.seconds
+
+
+def run_sssp(dataset: str = SSSP_DATASET,
+             source_count: Optional[int] = None,
+             repeats: int = SSSP_REPEATS) -> List[SSSPMeasure]:
+    """Time full SSSP sweeps with both engines, repeats interleaved.
+
+    Sources are spread deterministically over the vertex range so the
+    workload is reproducible without a seed parameter.
+    """
+    network = dataset_network(dataset)
+    count = SSSP_SOURCE_COUNT if source_count is None else source_count
+    sources = [i * network.num_vertices // count for i in range(count)]
+    network.csr()  # built once and cached, like the R-trees: not timed
+    engines = ("dict", "flat")
+    samples = {engine: [] for engine in engines}
+    settled = {}
+
+    def one_pass(engine):
+        total = 0
+        for s in sources:
+            search = make_search(network, s, engine=engine)
+            search.run_to_exhaustion()
+            total += search.expanded
+            release_search(search)
+        return total
+
+    for engine in engines:  # warm-up: allocator, arena pool, caches
+        one_pass(engine)
+    # Repeats are interleaved (dict, flat, dict, flat, ...) so slow
+    # machine-load drift hits both engines' samples equally and cancels
+    # out of the speedup ratio.
+    for _ in range(repeats):
+        for engine in engines:
+            start = time.perf_counter()
+            settled[engine] = one_pass(engine)
+            samples[engine].append(time.perf_counter() - start)
+    measures = [SSSPMeasure(dataset, engine, len(sources), settled[engine],
+                            median(samples[engine]), samples[engine])
+                for engine in engines]
+    if measures[0].vertices_settled != measures[1].vertices_settled:
+        raise AssertionError(
+            "engines settled different vertex counts: "
+            f"dict={measures[0].vertices_settled}"
+            f" flat={measures[1].vertices_settled}")
+    return measures
+
+
+def speedup(measures: List[SSSPMeasure]) -> float:
+    """dict seconds / flat seconds (>1 means the flat kernel wins)."""
+    by_engine = {m.engine: m for m in measures}
+    return by_engine["dict"].seconds / by_engine["flat"].seconds

@@ -110,7 +110,8 @@ def _cmd_build_index(args) -> int:
     trace = TraceRecorder() if want_stats else None
     started = time.perf_counter()
     index = build_index(network, args.borders,
-                        contour_strategy=args.contour, trace=trace)
+                        contour_strategy=args.contour, trace=trace,
+                        jobs=args.jobs, engine=args.engine)
     index.save(args.out)
     print(f"index built in {time.perf_counter() - started:.2f}s:"
           f" l={index.border_count}, |R|={index.regions.region_count},"
@@ -149,13 +150,17 @@ def _cmd_query(args) -> int:
                   file=sys.stderr)
             return 2
         index = RoadPartIndex.load(args.index, network)
-        result = roadpart_dps(index, query, stats=qstats)
+        result = roadpart_dps(index, query, stats=qstats,
+                              engine=args.engine)
     elif args.algorithm == "blq":
-        result = bl_quality(network, query, stats=qstats)
+        result = bl_quality(network, query, stats=qstats,
+                            engine=args.engine)
     elif args.algorithm == "ble":
-        result = bl_efficiency(network, query, stats=qstats)
+        result = bl_efficiency(network, query, stats=qstats,
+                               engine=args.engine)
     else:
-        result = convex_hull_dps(network, query, stats=qstats)
+        result = convex_hull_dps(network, query, stats=qstats,
+                                 engine=args.engine)
     print(f"{result.algorithm}: DPS of {result.size} vertices"
           f" in {result.seconds:.3f}s  stats={result.stats}", file=chat)
     if args.stats_json:
@@ -213,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--contour", choices=["walk", "walk-planar",
                                              "hull"], default="walk")
     build.add_argument("--out", required=True)
+    build.add_argument("--jobs", type=int, default=1,
+                       help="labelling worker processes (fork-based;"
+                            " the index is byte-identical to --jobs 1)")
+    build.add_argument("--engine", choices=["flat", "dict"],
+                       default="flat",
+                       help="SSSP/A* kernel (identical cuts either way)")
     build.add_argument("--stats", action="store_true",
                        help="print the nested build-phase trace")
     build.add_argument("--stats-json", action="store_true",
@@ -241,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--out",
                        help="output path prefix for the DPS"
                             " (.gr/.co/.vertices appended)")
+    query.add_argument("--engine", choices=["flat", "dict"],
+                       default="flat",
+                       help="SSSP kernel (identical answers and"
+                            " counters either way)")
     query.add_argument("--stats", action="store_true",
                        help="print phase timings and search counters")
     query.add_argument("--stats-json", action="store_true",

@@ -22,7 +22,7 @@ from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import SearchCounters
 from repro.obs.stats import QueryStats, resolve_stats
-from repro.shortestpath.dijkstra import DijkstraSearch
+from repro.shortestpath.flat import make_search, release_search
 from repro.spatial.rect import Rect
 
 
@@ -34,7 +34,8 @@ class BLEOutcome:
     __slots__ = ("center_vertex", "radius", "search")
 
     def __init__(self, center_vertex: int, radius: float,
-                 search: DijkstraSearch) -> None:
+                 search) -> None:
+        # ``search`` is either engine's resumable search (same API).
         self.center_vertex = center_vertex
         self.radius = radius
         self.search = search
@@ -46,7 +47,8 @@ class BLEOutcome:
 
 def run_ble_search(network: RoadNetwork, query: DPSQuery,
                    counters: Optional[SearchCounters] = None,
-                   stats: Optional[QueryStats] = None) -> BLEOutcome:
+                   stats: Optional[QueryStats] = None,
+                   engine: str = "flat") -> BLEOutcome:
     """Run the BL-E search machinery and return its raw outcome.
 
     Split from :func:`bl_efficiency` because RoadPart's query processor
@@ -64,7 +66,8 @@ def run_ble_search(network: RoadNetwork, query: DPSQuery,
         q = query.combined
         mbr = Rect.from_points(network.coord(v) for v in q)
         center_vertex = network.vertex_rtree().nearest_one(mbr.center())
-    search = DijkstraSearch(network, int(center_vertex), counters=counters)
+    search = make_search(network, int(center_vertex), counters=counters,
+                         engine=engine)
     with stats.phase("settle-query"):
         settled_all = search.run_until_settled(q)
     if not settled_all:
@@ -79,7 +82,8 @@ def run_ble_search(network: RoadNetwork, query: DPSQuery,
 
 
 def bl_efficiency(network: RoadNetwork, query: DPSQuery,
-                  stats: Optional[QueryStats] = None) -> DPSResult:
+                  stats: Optional[QueryStats] = None,
+                  engine: str = "flat") -> DPSResult:
     """Return the radius-``2r`` DPS of Section III-B.
 
     Every vertex settled by the staged search has ``dist(vc, ·) ≤ 2r``
@@ -89,8 +93,9 @@ def bl_efficiency(network: RoadNetwork, query: DPSQuery,
     """
     stats = resolve_stats(stats)
     started = time.perf_counter()
-    outcome = run_ble_search(network, query, stats=stats)
+    outcome = run_ble_search(network, query, stats=stats, engine=engine)
     vertices = frozenset(outcome.search.dist)
+    release_search(outcome.search)  # the frozenset is a copy; recycle
     elapsed = time.perf_counter() - started
     result = DPSResult("BL-E", query, vertices, seconds=elapsed,
                        stats={"center_vertex": outcome.center_vertex,

@@ -17,12 +17,13 @@ from typing import Optional
 from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.stats import QueryStats, resolve_stats
-from repro.shortestpath.dijkstra import DijkstraSearch
+from repro.shortestpath.flat import make_search, release_search
 from repro.shortestpath.paths import collect_path_vertices
 
 
 def bl_quality(network: RoadNetwork, query: DPSQuery,
-               stats: Optional[QueryStats] = None) -> DPSResult:
+               stats: Optional[QueryStats] = None,
+               engine: str = "flat") -> DPSResult:
     """Return the smallest DPS for ``query``.
 
     Ties between equal-length shortest paths resolve to the path Dijkstra
@@ -31,7 +32,9 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
     require *a* shortest path per pair to survive in the subgraph).
 
     ``stats`` (optional) collects per-phase timings (``sssp``,
-    ``collect``) and engine counters -- see :mod:`repro.obs`.
+    ``collect``) and engine counters; ``engine`` selects the SSSP kernel
+    (both give identical results and counts) -- see :mod:`repro.obs` and
+    :mod:`repro.shortestpath.flat`.
     """
     query.validate_against(network)
     stats = resolve_stats(stats)
@@ -43,7 +46,8 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
     rounds = 0
     for s in sorted(sources):
         with stats.phase("sssp"):
-            search = DijkstraSearch(network, s, counters=counters)
+            search = make_search(network, s, counters=counters,
+                                 engine=engine)
             settled_all = search.run_until_settled(target_list)
         if not settled_all:
             unreached = [t for t in target_list if t not in search.dist]
@@ -52,6 +56,7 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
                 f" unreachable from {s} (e.g. {unreached[:3]})")
         with stats.phase("collect"):
             collect_path_vertices(search.pred, s, target_list, collected)
+        release_search(search)  # round done; recycle the arena
         rounds += 1
     elapsed = time.perf_counter() - started
     result = DPSResult("BL-Q", query, frozenset(collected), seconds=elapsed,

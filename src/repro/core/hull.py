@@ -29,7 +29,7 @@ from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import SearchCounters
 from repro.obs.stats import QueryStats, resolve_stats
-from repro.shortestpath.dijkstra import DijkstraSearch
+from repro.shortestpath.flat import make_search, release_search
 from repro.shortestpath.paths import collect_path_vertices
 from repro.spatial.geometry import Point, on_segment, orientation
 from repro.spatial.hull import convex_hull
@@ -134,7 +134,8 @@ def _crossing_border(network: RoadNetwork, hull: Sequence[Point],
 def _connect_borders(network: RoadNetwork, from_border: Set[int],
                      to_border: Set[int], allowed: Optional[Set[int]],
                      into: Set[int],
-                     counters: Optional[SearchCounters] = None) -> int:
+                     counters: Optional[SearchCounters] = None,
+                     engine: str = "flat") -> int:
     """Add the vertices of ``sp(b, b')`` for all border pairs to ``into``.
 
     Iterates SSSP over the smaller side.  Returns the number of SSSP
@@ -149,21 +150,23 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
     targets = sorted(large)
     rounds = 0
     for b in sorted(small):
-        search = DijkstraSearch(network, b, allowed=allowed,
-                                counters=counters)
+        search = make_search(network, b, allowed=allowed,
+                             counters=counters, engine=engine)
         if not search.run_until_settled(targets):
             unreached = [t for t in targets if t not in search.dist]
             raise ValueError(
                 f"input graph disconnects border vertices: {len(unreached)}"
                 f" unreachable from {b}")
         collect_path_vertices(search.pred, b, targets, into)
+        release_search(search)  # round done; recycle the arena
         rounds += 1
     return rounds
 
 
 def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
                     base: BaseGraph = None,
-                    stats: Optional[QueryStats] = None) -> DPSResult:
+                    stats: Optional[QueryStats] = None,
+                    engine: str = "flat") -> DPSResult:
     """Run the convex hull method (Algorithm 1 or 2, chosen by the query).
 
     ``base`` selects the input graph ``H``: None for the full road
@@ -173,8 +176,10 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
     of RoadPart" (Section VII-B).
 
     ``stats`` (optional) collects per-phase timings (``hull-membership``,
-    ``crossing-border``, ``connect-borders``) and engine counters -- see
-    :mod:`repro.obs`.
+    ``crossing-border``, ``connect-borders``) and engine counters;
+    ``engine`` selects the SSSP kernel (identical results and counts
+    either way) -- see :mod:`repro.obs` and
+    :mod:`repro.shortestpath.flat`.
     """
     query.validate_against(network)
     stats = resolve_stats(stats)
@@ -197,7 +202,7 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
         collected |= covered
         with stats.phase("connect-borders"):
             rounds = _connect_borders(network, border, border, allowed,
-                                      collected, counters)
+                                      collected, counters, engine=engine)
         border_stat = len(border)
     else:
         with stats.phase("hull-membership"):
@@ -212,7 +217,7 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
         collected |= covered_t
         with stats.phase("connect-borders"):
             rounds = _connect_borders(network, border_s, border_t, allowed,
-                                      collected, counters)
+                                      collected, counters, engine=engine)
         border_stat = min(len(border_s), len(border_t))
     collected |= query.combined  # degenerate hulls can miss isolated points
     elapsed = time.perf_counter() - started

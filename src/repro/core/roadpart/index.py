@@ -27,6 +27,7 @@ from repro.core.roadpart.border import select_borders
 from repro.core.roadpart.bridges import EdgeKey, find_bridges
 from repro.core.roadpart.contour import Contour, compute_contour
 from repro.core.roadpart.labeling import CutCache, label_round
+from repro.core.roadpart.parallel import fork_available, run_parallel_labeling
 from repro.core.roadpart.regions import RegionBuilder, RegionSet
 from repro.graph.network import RoadNetwork
 from repro.obs.trace import TraceRecorder, resolve_trace
@@ -127,6 +128,8 @@ def build_index(network: RoadNetwork, border_count: int,
                 border_method: str = "equi-length",
                 bridges: Optional[FrozenSet[EdgeKey]] = None,
                 trace: Optional[TraceRecorder] = None,
+                jobs: int = 1,
+                engine: str = "flat",
                 ) -> RoadPartIndex:
     """Build a RoadPart index with ``ℓ = border_count`` border vertices.
 
@@ -135,6 +138,14 @@ def build_index(network: RoadNetwork, border_count: int,
     the spatial self-join runs here.  ``contour_strategy`` is passed to
     :func:`repro.core.roadpart.contour.compute_contour`; a failed walk
     falls back to the hull contour and records the fact in the stats.
+
+    ``jobs > 1`` runs the cut computation and the labelling rounds
+    across that many fork workers (see
+    :mod:`repro.core.roadpart.parallel`); the resulting index is
+    byte-identical to a serial build.  Platforms without ``fork`` fall
+    back to the serial loop silently.  ``engine`` selects the A* kernel
+    for the cuts (``'flat'``/``'dict'``; identical cuts either way, see
+    :mod:`repro.shortestpath.flat`).
 
     ``trace`` (optional, see :mod:`repro.obs.trace`) records a nested
     span tree of the build: ``bridges`` / ``contour`` / ``labeling`` with
@@ -163,14 +174,21 @@ def build_index(network: RoadNetwork, border_count: int,
     step = time.perf_counter()
     builder = RegionBuilder(network.num_vertices)
     bridge_set = set(bridges)
-    cut_cache = CutCache(network, forbidden_edges=bridge_set)
+    cut_cache = CutCache(network, forbidden_edges=bridge_set, engine=engine)
     with trace.span("labeling"):
-        for round_index in range(len(border_positions)):
-            with trace.span(f"round-{round_index}"):
-                labels, round_stats = label_round(network, contour,
-                                                  border_positions,
-                                                  round_index, bridge_set,
-                                                  cut_cache, trace=trace)
+        if jobs > 1 and fork_available():
+            rounds = run_parallel_labeling(network, contour,
+                                           border_positions, bridge_set,
+                                           cut_cache, jobs, trace)
+        else:
+            rounds = []
+            for round_index in range(len(border_positions)):
+                with trace.span(f"round-{round_index}"):
+                    rounds.append(label_round(network, contour,
+                                              border_positions,
+                                              round_index, bridge_set,
+                                              cut_cache, trace=trace))
+        for labels, round_stats in rounds:
             builder.apply_round(labels)
             stats.raycast_calls += round_stats.raycast_calls
             stats.pocket_count += round_stats.pockets

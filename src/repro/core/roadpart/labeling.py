@@ -37,6 +37,7 @@ from repro.core.roadpart.contour import Contour
 from repro.graph.network import RoadNetwork
 from repro.obs.trace import TraceRecorder, resolve_trace
 from repro.shortestpath.astar import astar
+from repro.shortestpath.flat import flat_astar, resolve_engine
 from repro.spatial.polygon import chain_to_polygon, point_in_polygon
 
 Label = Tuple[int, int]
@@ -80,8 +81,9 @@ class CutCache:
 
     def __init__(self, network: RoadNetwork,
                  forbidden_edges: Optional[Set[Tuple[int, int]]] = None,
-                 ) -> None:
+                 engine: str = "flat") -> None:
         self._network = network
+        self._engine = resolve_engine(engine)
         self._paths: Dict[Tuple[int, int], List[int]] = {}
         self.astar_expanded = 0
         self.fallback_cuts = 0
@@ -92,6 +94,24 @@ class CutCache:
             edges = [(e.u, e.v, e.weight) for e in network.edges()
                      if e.key not in forbidden]
             self._skeleton = RoadNetwork(list(network.coords), edges)
+
+    def preload(self, key: Tuple[int, int], path: List[int],
+                expanded: int, fallbacks: int) -> None:
+        """Install a cut computed elsewhere (a parallel-build worker)
+        under its canonical ``(min, max)`` key, accounting the search
+        effort it cost -- see :mod:`repro.core.roadpart.parallel`."""
+        self._paths[key] = path
+        self.astar_expanded += expanded
+        self.fallback_cuts += fallbacks
+
+    def prewarm_for_fork(self) -> None:
+        """Build the CSR views the flat engine reads *before* forking,
+        so workers inherit them copy-on-write instead of each paying the
+        build."""
+        if self._engine == "flat":
+            self._network.csr()
+            if self._skeleton is not None:
+                self._skeleton.csr()
 
     def path(self, source: int, target: int) -> List[int]:
         key = (source, target) if source < target else (target, source)
@@ -104,14 +124,18 @@ class CutCache:
         return cached[::-1]
 
     def _compute(self, source: int, target: int) -> List[int]:
+        # Both engines expand, tie-break and trace back identically, so
+        # the cut paths -- and hence the whole index -- do not depend on
+        # the engine choice (pinned by the property tests).
+        search = flat_astar if self._engine == "flat" else astar
         if self._skeleton is not None:
             try:
-                result = astar(self._skeleton, source, target)
+                result = search(self._skeleton, source, target)
                 self.astar_expanded += result.expanded
                 return result.path
             except ValueError:
                 self.fallback_cuts += 1
-        result = astar(self._network, source, target)
+        result = search(self._network, source, target)
         self.astar_expanded += result.expanded
         return result.path
 

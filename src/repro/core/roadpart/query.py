@@ -48,6 +48,7 @@ import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.ble import run_ble_search
+from repro.shortestpath.flat import release_search
 from repro.core.dps import DPSQuery, DPSResult
 from repro.obs.stats import QueryStats, resolve_stats
 from repro.core.roadpart.bridges import (
@@ -86,13 +87,18 @@ class RoadPartQueryProcessor:
     examine_all_bridges:
         Skip every pruning rule and run the domain computation on all
         bridges (the ablation baseline; slow but maximally conservative).
+    engine:
+        SSSP kernel (``'flat'`` or ``'dict'``) for the Corollary 3 BL-E
+        ball; both engines give identical results and counters -- see
+        :mod:`repro.shortestpath.flat`.
     """
 
     def __init__(self, index: RoadPartIndex, window_mode: str = "tight",
                  prune_corollary3: bool = True,
                  prune_theorem7: bool = False,
                  cut_pair_order: str = "load",
-                 examine_all_bridges: bool = False) -> None:
+                 examine_all_bridges: bool = False,
+                 engine: str = "flat") -> None:
         if window_mode not in ("tight", "loose"):
             raise ValueError(f"unknown window mode {window_mode!r}")
         self._index = index
@@ -101,6 +107,7 @@ class RoadPartQueryProcessor:
         self._prune_thm7 = prune_theorem7
         self._cut_pair_order = cut_pair_order
         self._examine_all = examine_all_bridges
+        self._engine = engine
 
     # ------------------------------------------------------------------
 
@@ -188,13 +195,15 @@ class RoadPartQueryProcessor:
                     # Corollary 3's 2r ball reuses BL-E's search; its
                     # heap/relax work lands in the same counter set but
                     # keeps its own phase so the breakdown stays honest.
-                    ble = run_ble_search(network, query, counters=counters)
+                    ble = run_ble_search(network, query, counters=counters,
+                                         engine=self._engine)
                     cut_bridges = {
                         key: cls for key, cls in cut_bridges.items()
                         if ble.within_2r(key[0]) and ble.within_2r(key[1])}
                     exterior_bridges = [
                         key for key in exterior_bridges
                         if ble.within_2r(key[0]) and ble.within_2r(key[1])]
+                    release_search(ble.search)  # probes done; recycle
             with stats.phase("bridge-classify"):
                 if self._prune_thm7 and cut_bridges:
                     to_examine = theorem7_survivors(

@@ -86,6 +86,7 @@ class RoadNetwork:
             self._adj[v].append((u, w))
         self._vertex_rtree: Optional[PointRTree] = None
         self._edge_rtree: Optional[SegmentRTree] = None
+        self._csr = None  # lazily built CSRGraph (see csr())
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -175,6 +176,19 @@ class RoadNetwork:
                 [(e.key, (self._coords[e.u], self._coords[e.v]))
                  for e in self.edges()])
         return self._edge_rtree
+
+    def csr(self):
+        """Return the flat CSR view of the adjacency (see
+        :mod:`repro.graph.csr`), built on first use and cached.
+
+        The network is immutable after construction, so the view never
+        goes stale; every flat-kernel search over this network shares it
+        (and its recycled search arenas).
+        """
+        if self._csr is None:
+            from repro.graph.csr import CSRGraph  # deferred: avoids cycle
+            self._csr = CSRGraph.from_adjacency(self._adj)
+        return self._csr
 
     # ------------------------------------------------------------------
     # Subgraphs

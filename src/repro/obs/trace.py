@@ -86,6 +86,11 @@ class TraceRecorder:
         self._stack[-1].children.append(new)
         return _SpanContext(self, new)
 
+    def attach(self, span_: Span) -> None:
+        """Splice an already-timed span (e.g. recorded in a worker
+        process and shipped back) under the currently active span."""
+        self._stack[-1].children.append(span_)
+
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.spans)
 
@@ -135,6 +140,9 @@ class NullTraceRecorder(TraceRecorder):
 
     def span(self, label: str) -> _NullSpanContext:  # type: ignore[override]
         return _NULL_SPAN
+
+    def attach(self, span_: Span) -> None:
+        pass
 
 
 #: The process-wide disabled-trace singleton.

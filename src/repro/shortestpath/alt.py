@@ -147,8 +147,10 @@ class ALTIndex:
         frontier: List[Tuple[float, float, int]] = [(h(source), 0.0, source)]
         expanded = 0
         stale = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while frontier:
-            _, g, u = heapq.heappop(frontier)
+            _, g, u = heappop(frontier)
             if u in settled:
                 stale += 1
                 continue
@@ -169,7 +171,7 @@ class ALTIndex:
                 if known is None or candidate < known:
                     g_score[v] = candidate
                     pred[v] = u
-                    heapq.heappush(frontier, (candidate + h(v), candidate, v))
+                    heappush(frontier, (candidate + h(v), candidate, v))
                     pushes += 1
             obs.on_settle(stale + 1, stale, len(neighbours), pushes)
             stale = 0

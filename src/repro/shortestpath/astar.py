@@ -20,7 +20,7 @@ from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.paths import reconstruct_path
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AStarResult:
     """Outcome of one A* run.
 
@@ -65,8 +65,10 @@ def astar(network: RoadNetwork, source: int, target: int,
     frontier: List[Tuple[float, float, int]] = [(heuristic(source), 0.0, source)]
     expanded = 0
     stale = 0
+    heappop = heapq.heappop
+    heappush = heapq.heappush
     while frontier:
-        _, g, u = heapq.heappop(frontier)
+        _, g, u = heappop(frontier)
         if u in settled:
             stale += 1
             continue
@@ -90,8 +92,8 @@ def astar(network: RoadNetwork, source: int, target: int,
             if known is None or candidate < known:
                 g_score[v] = candidate
                 pred[v] = u
-                heapq.heappush(frontier,
-                               (candidate + heuristic(v), candidate, v))
+                heappush(frontier,
+                         (candidate + heuristic(v), candidate, v))
                 pushes += 1
         obs.on_settle(stale + 1, stale, len(neighbours), pushes, pruned)
         stale = 0

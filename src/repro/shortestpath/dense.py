@@ -30,21 +30,22 @@ from typing import List, Optional, Tuple
 
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import NULL_COUNTERS, SearchCounters
+from repro.shortestpath.arena import SearchArena
 
 
 class DensePPSPEngine:
-    """Array-based point-to-point A* over one fixed graph."""
+    """Array-based point-to-point A* over one fixed graph.
+
+    The per-vertex scratch state is a :class:`SearchArena` -- the same
+    generation-stamped arena the flat CSR kernel uses -- so the two
+    engines share one reset idiom instead of two copies of it.
+    """
 
     def __init__(self, network: RoadNetwork,
                  reuse_arrays: bool = False) -> None:
         self._network = network
         self._reuse = reuse_arrays
-        n = network.num_vertices
-        self._dist: List[float] = [math.inf] * n
-        self._pred: List[int] = [-1] * n
-        self._touched: List[int] = [0] * n   # generation that wrote dist
-        self._settled: List[int] = [0] * n   # generation that settled
-        self._generation = 0
+        self._arena = SearchArena(network.num_vertices)
 
     @property
     def network(self) -> RoadNetwork:
@@ -60,23 +61,21 @@ class DensePPSPEngine:
         network = self._network
         obs = NULL_COUNTERS if counters is None else counters
         obs.heap_pushes += 1  # the source seed
+        arena = self._arena
         if self._reuse:
-            self._generation += 1
+            generation = arena.new_generation()
         else:
-            n = network.num_vertices
-            self._dist = [math.inf] * n
-            self._pred = [-1] * n
-            self._touched = [0] * n
-            self._settled = [0] * n
-            self._generation = 1
-        generation = self._generation
-        dist = self._dist
-        pred = self._pred
-        touched = self._touched
-        settled = self._settled
+            arena.refill()  # the paper's O(|V|) per-query initialisation
+            generation = arena.generation
+        dist = arena.dist
+        pred = arena.pred
+        touched = arena.touched
+        settled = arena.settled
         coords = network.coords
         adjacency = network.adjacency
         tx, ty = coords[target]
+        heappop = heapq.heappop
+        heappush = heapq.heappush
 
         dist[source] = 0.0
         touched[source] = generation
@@ -86,7 +85,7 @@ class DensePPSPEngine:
         expanded = 0
         stale = 0
         while frontier:
-            _, g, u = heapq.heappop(frontier)
+            _, g, u = heappop(frontier)
             if settled[u] == generation:
                 stale += 1
                 continue
@@ -112,7 +111,7 @@ class DensePPSPEngine:
                     pred[v] = u
                     touched[v] = generation
                     c = coords[v]
-                    heapq.heappush(
+                    heappush(
                         frontier,
                         (candidate + math.hypot(c[0] - tx, c[1] - ty),
                          candidate, v))

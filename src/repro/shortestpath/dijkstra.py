@@ -12,10 +12,13 @@ The DPS algorithms never need a full SSSP sweep:
   DPS vertex set: "vertices in ``V − V'`` are neither initialized ... nor
   visited" -- the ``allowed`` parameter.
 
-The priority queue is the stdlib ``heapq`` with stale-entry skipping; for
-the sparse, bounded-degree graphs of the road-network model this is the
-fastest pure-Python formulation (decrease-key buys nothing when the heap
-holds at most ``O(|E|)`` entries and ``|E| = O(|V|)``).
+The priority queue is the stdlib ``heapq`` with stale-entry skipping
+(decrease-key buys nothing when the heap holds at most ``O(|E|)`` entries
+and ``|E| = O(|V|)``).  This dict-and-heapq formulation is the *reference
+engine*: the flat CSR kernel of :mod:`repro.shortestpath.flat` replays
+the exact same heap operations over contiguous arrays and is the default
+for the hot sweeps, with this engine retained behind ``engine="dict"``
+and property-tested equivalent.
 """
 
 from __future__ import annotations
@@ -29,12 +32,14 @@ from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.paths import reconstruct_path
 
 
-@dataclass
+@dataclass(slots=True)
 class ShortestPathTree:
     """The result of a (possibly truncated) Dijkstra search.
 
     ``dist`` and ``pred`` cover exactly the settled vertices; a vertex
     absent from ``dist`` was not proven shortest before the search stopped.
+    Either plain dicts (dict engine) or the live mapping views of the
+    flat CSR kernel -- both support the same read operations.
     """
 
     source: int
@@ -113,9 +118,11 @@ class DijkstraSearch:
         """Settle and return the next ``(vertex, distance)``, or None."""
         frontier = self._frontier
         dist = self.dist
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         stale = 0
         while frontier:
-            d, u = heapq.heappop(frontier)
+            d, u = heappop(frontier)
             if u in dist:
                 stale += 1
                 continue
@@ -139,7 +146,7 @@ class DijkstraSearch:
                 if known is None or candidate < known:
                     best[v] = candidate
                     pred[v] = u
-                    heapq.heappush(frontier, (candidate, v))
+                    heappush(frontier, (candidate, v))
                     pushes += 1
             self.counters.on_settle(stale + 1, stale, len(neighbours),
                                     pushes, pruned)
@@ -203,15 +210,23 @@ def sssp(network: RoadNetwork, source: int,
          targets: Optional[Iterable[int]] = None,
          radius: Optional[float] = None,
          allowed: Optional[Set[int]] = None,
-         counters: Optional[SearchCounters] = None) -> ShortestPathTree:
+         counters: Optional[SearchCounters] = None,
+         engine: str = "flat") -> ShortestPathTree:
     """Run a Dijkstra search and return its shortest-path tree.
 
     ``targets`` and ``radius`` each bound the search (whichever applies
     last wins: with both given, the search settles all targets and then
     continues out to the radius).  With neither, the search exhausts the
     reachable graph.
+
+    ``engine`` selects the flat CSR kernel (default) or this module's
+    dict engine; results and operation counters are identical (see
+    :mod:`repro.shortestpath.flat`).
     """
-    search = DijkstraSearch(network, source, allowed, counters=counters)
+    # Imported here, not at module top: flat.py builds on this module.
+    from repro.shortestpath.flat import make_search
+    search = make_search(network, source, allowed=allowed,
+                         counters=counters, engine=engine)
     if targets is not None:
         search.run_until_settled(targets)
     if radius is not None:

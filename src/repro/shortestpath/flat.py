@@ -1,0 +1,654 @@
+"""Flat CSR search kernel: array-based resumable Dijkstra (and A*).
+
+This is the hot engine behind every SSSP sweep in the repository.  It
+mirrors the :class:`~repro.shortestpath.dijkstra.DijkstraSearch` API --
+target-set termination, radius bound, ``allowed`` restriction, staged
+resume (BL-E's ``r -> 2r`` continuation), :class:`SearchCounters` hooks,
+``dist``/``pred`` mapping views -- but runs over the contiguous CSR
+arrays of :mod:`repro.graph.csr` with generation-stamped scratch arenas
+(:mod:`repro.shortestpath.arena`):
+
+- no hashing: settled tests, distance labels and predecessors are list
+  indexing by vertex id;
+- no per-query allocation: arenas are recycled through the CSR's pool;
+- one comparison decides each relaxation: pooled arenas keep the
+  *all-inf invariant* (every ``dist`` cell a search dirtied is reset to
+  ``+inf`` before the arena re-enters the pool), so ``candidate <
+  dist[v]`` alone reproduces the dict engine's push decision -- settled
+  vertices hold a final label no non-negative arc can beat, frontier
+  vertices compare as usual, untouched vertices read ``inf``.  The
+  reset walks only the dirtied cells (settled order + leftover
+  frontier), trading the stamp reads out of the O(m log n) inner loop
+  for an O(touched) release;
+- the ``allowed`` vertex mask is stamped into a per-vertex array once
+  per search, replacing one set lookup per relaxation with one list
+  read.
+
+**Operation-equivalence.**  The kernel pushes exactly the heap entries
+the dict engine pushes, in the same order (CSR arc order == adjacency
+order), so settle order, predecessor assignments, distances *and the
+operation counters* are identical -- pinned by the property tests in
+``tests/property/test_flat_equivalence.py``.  The bulk ``run_*`` loops
+batch their counter updates (plain local ints, flushed once per call),
+which changes when counts become visible but never their totals.
+
+Engine selection: the DPS entry points take ``engine="flat"|"dict"`` and
+construct searches through :func:`make_search`; the dict engine remains
+fully supported (see docs/observability.md, "Engine selection").
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.graph.csr import CSRGraph
+from repro.graph.network import RoadNetwork
+from repro.obs.counters import NULL_COUNTERS, SearchCounters
+from repro.shortestpath.astar import AStarResult
+from repro.shortestpath.dijkstra import DijkstraSearch, ShortestPathTree
+
+#: The engine names the ``engine=`` selectors accept.
+ENGINES = ("flat", "dict")
+
+
+def resolve_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+class _DistView:
+    """Dict-like read view of a flat search's settled distances.
+
+    Mirrors the dict engine's ``search.dist``: membership == settled,
+    iteration yields vertices in settle order, ``[v]`` raises KeyError
+    for unsettled vertices.  The view is live -- advancing the search
+    extends it -- and dies with the search's :meth:`release`.
+    """
+
+    __slots__ = ("_search",)
+
+    def __init__(self, search: "FlatDijkstraSearch") -> None:
+        self._search = search
+
+    def __contains__(self, v: object) -> bool:
+        s = self._search
+        return (isinstance(v, int) and 0 <= v < s.csr.num_vertices
+                and s._settled[v] == s._gen)
+
+    def __getitem__(self, v: int) -> float:
+        s = self._search
+        if 0 <= v < s.csr.num_vertices and s._settled[v] == s._gen:
+            return s._dist[v]
+        raise KeyError(v)
+
+    def get(self, v: int, default=None):
+        s = self._search
+        if 0 <= v < s.csr.num_vertices and s._settled[v] == s._gen:
+            return s._dist[v]
+        return default
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._search.settled_order)
+
+    def __len__(self) -> int:
+        return len(self._search.settled_order)
+
+    def keys(self):
+        return list(self._search.settled_order)
+
+    def items(self):
+        dist = self._search._dist
+        return [(v, dist[v]) for v in self._search.settled_order]
+
+    def values(self):
+        dist = self._search._dist
+        return [dist[v] for v in self._search.settled_order]
+
+
+class _PredView:
+    """Dict-like read view of a flat search's predecessor links.
+
+    Like the dict engine's ``pred``, it covers every vertex that ever
+    received a tentative label (settled or still on the frontier), never
+    the source.  ``collect_path_vertices`` and ``reconstruct_path`` walk
+    it unchanged.
+    """
+
+    __slots__ = ("_search",)
+
+    def __init__(self, search: "FlatDijkstraSearch") -> None:
+        self._search = search
+
+    def __contains__(self, v: object) -> bool:
+        s = self._search
+        return (s._arena is not None and isinstance(v, int)
+                and 0 <= v < s.csr.num_vertices
+                and v != s.source and s._dist[v] != math.inf)
+
+    def __getitem__(self, v: int) -> int:
+        s = self._search
+        if (s._arena is not None and 0 <= v < s.csr.num_vertices
+                and v != s.source and s._dist[v] != math.inf):
+            return s._pred[v]
+        raise KeyError(v)
+
+    def get(self, v: int, default=None):
+        s = self._search
+        if (s._arena is not None and 0 <= v < s.csr.num_vertices
+                and v != s.source and s._dist[v] != math.inf):
+            return s._pred[v]
+        return default
+
+    def __iter__(self) -> Iterator[int]:
+        s = self._search
+        if s._arena is None:
+            return iter(())
+        dist, source, inf = s._dist, s.source, math.inf
+        return (v for v in range(s.csr.num_vertices)
+                if v != source and dist[v] != inf)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in iter(self))
+
+
+class FlatDijkstraSearch:
+    """A resumable Dijkstra search over CSR arrays.
+
+    Drop-in replacement for :class:`DijkstraSearch`; accepts either a
+    :class:`RoadNetwork` (uses its cached CSR view) or a
+    :class:`CSRGraph` directly.  Call :meth:`release` once the search
+    *and every view derived from it* are dead to recycle the scratch
+    arena (optional; an unreleased arena is simply garbage-collected).
+    """
+
+    __slots__ = ("csr", "source", "_arena", "_gen", "_dist", "_pred",
+                 "_settled", "_allowed_arr", "_allowed_gen",
+                 "_frontier", "settled_order", "expanded", "counters",
+                 "dist", "pred")
+
+    def __init__(self, network: Union[RoadNetwork, CSRGraph], source: int,
+                 allowed: Optional[Set[int]] = None,
+                 counters: Optional[SearchCounters] = None) -> None:
+        if allowed is not None and source not in allowed:
+            raise ValueError(f"source {source} not in the allowed set")
+        csr = network.csr() if isinstance(network, RoadNetwork) else network
+        self.csr = csr
+        arena = csr.acquire_arena()
+        self._arena = arena
+        self._gen = arena.generation
+        self._dist = arena.dist
+        self._pred = arena.pred
+        self._settled = arena.settled
+        if allowed is None:
+            self._allowed_arr = None
+            self._allowed_gen = 0
+        else:
+            agen = arena.new_allowed_generation()
+            aarr = arena.allowed
+            n = csr.num_vertices
+            for v in allowed:
+                if 0 <= v < n:
+                    aarr[v] = agen
+            self._allowed_arr = aarr
+            self._allowed_gen = agen
+        self.source = source
+        self._dist[source] = 0.0
+        self._frontier: List[Tuple[float, int]] = [(0.0, source)]
+        self.settled_order: List[int] = []
+        self.expanded = 0  # vertices settled; the VII-C efficiency metric
+        self.counters = NULL_COUNTERS if counters is None else counters
+        self.counters.heap_pushes += 1  # the source seed
+        self.dist = _DistView(self)
+        self.pred = _PredView(self)
+
+    # ------------------------------------------------------------------
+    # Stepping (same contract as DijkstraSearch)
+    # ------------------------------------------------------------------
+
+    def tentative(self, v: int) -> Optional[float]:
+        """Best label known for ``v`` -- settled, frontier, or None."""
+        if self._arena is not None:
+            d = self._dist[v]
+            if d != math.inf:
+                return d
+        return None
+
+    def next_key(self) -> Optional[float]:
+        """The distance at which the next vertex settles, or None."""
+        frontier = self._frontier
+        settled = self._settled
+        gen = self._gen
+        stale = 0
+        while frontier and settled[frontier[0][1]] == gen:
+            heapq.heappop(frontier)  # stale entry
+            stale += 1
+        if stale:
+            self.counters.on_stale(stale)
+        return frontier[0][0] if frontier else None
+
+    def is_exhausted(self) -> bool:
+        return self.next_key() is None
+
+    def settle_next(self) -> Optional[Tuple[int, float]]:
+        """Settle and return the next ``(vertex, distance)``, or None."""
+        frontier = self._frontier
+        settled = self._settled
+        gen = self._gen
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        dist = self._dist
+        pred = self._pred
+        indptr = self.csr.indptr_list
+        targets = self.csr.targets_list
+        weights = self.csr.weights_list
+        allowed = self._allowed_arr
+        agen = self._allowed_gen
+        stale = 0
+        while frontier:
+            d, u = heappop(frontier)
+            if settled[u] == gen:
+                stale += 1
+                continue
+            settled[u] = gen
+            self.settled_order.append(u)
+            self.expanded += 1
+            start = indptr[u]
+            end = indptr[u + 1]
+            pushes = 0
+            pruned = 0
+            for k in range(start, end):
+                v = targets[k]
+                if settled[v] == gen:
+                    continue
+                if allowed is not None and allowed[v] != agen:
+                    pruned += 1
+                    continue
+                candidate = d + weights[k]
+                if candidate < dist[v]:
+                    dist[v] = candidate
+                    pred[v] = u
+                    heappush(frontier, (candidate, v))
+                    pushes += 1
+            self.counters.on_settle(stale + 1, stale, end - start,
+                                    pushes, pruned)
+            return u, d
+        if stale:
+            self.counters.on_stale(stale)
+        return None
+
+    # ------------------------------------------------------------------
+    # Staged runs (bulk loops; counters batched per call)
+    # ------------------------------------------------------------------
+
+    def run_until_settled(self, targets: Iterable[int]) -> bool:
+        """Settle vertices until every target is settled; False when the
+        (reachable, allowed) graph exhausts first."""
+        settled = self._settled
+        gen = self._gen
+        remaining = {t for t in targets if settled[t] != gen}
+        if not remaining:
+            return True
+        frontier = self._frontier
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        dist = self._dist
+        pred = self._pred
+        indptr = self.csr.indptr_list
+        tarr = self.csr.targets_list
+        warr = self.csr.weights_list
+        allowed = self._allowed_arr
+        agen = self._allowed_gen
+        order = self.settled_order
+        order_append = order.append
+        discard = remaining.discard
+        before = len(order)
+        frontier_before = len(frontier)
+        stale = relaxed = pruned = 0
+        while remaining and frontier:
+            d, u = heappop(frontier)
+            if settled[u] == gen:
+                stale += 1
+                continue
+            settled[u] = gen
+            order_append(u)
+            start = indptr[u]
+            end = indptr[u + 1]
+            relaxed += end - start
+            if allowed is None:
+                for k in range(start, end):
+                    candidate = d + warr[k]
+                    v = tarr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+            else:
+                for k in range(start, end):
+                    v = tarr[k]
+                    if settled[v] == gen:
+                        continue
+                    if allowed[v] != agen:
+                        pruned += 1
+                        continue
+                    candidate = d + warr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+            discard(u)
+        # Every pop settles or is stale, and every heap-length change is
+        # one push or one pop, so both tallies are derivable afterwards.
+        count = len(order) - before
+        pops = count + stale
+        pushed = pops + len(frontier) - frontier_before
+        self._flush(pops, stale, relaxed, pushed, pruned, count)
+        return not remaining
+
+    def run_until_beyond(self, radius: float) -> None:
+        """Settle every vertex with distance <= ``radius``; the first
+        vertex beyond it stays unsettled (Theorem 1's cut-off)."""
+        if radius == math.inf:
+            # No cut-off can trigger: use the pop-first loop, which
+            # saves the heap peek per settle (same pop/stale counts --
+            # stale entries are popped and counted either way).
+            self.run_to_exhaustion()
+            return
+        frontier = self._frontier
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        settled = self._settled
+        gen = self._gen
+        dist = self._dist
+        pred = self._pred
+        indptr = self.csr.indptr_list
+        tarr = self.csr.targets_list
+        warr = self.csr.weights_list
+        allowed = self._allowed_arr
+        agen = self._allowed_gen
+        order = self.settled_order
+        order_append = order.append
+        before = len(order)
+        frontier_before = len(frontier)
+        stale = relaxed = pruned = 0
+        while frontier:
+            d, u = frontier[0]
+            if settled[u] == gen:
+                heappop(frontier)
+                stale += 1
+                continue
+            if d > radius:
+                break
+            heappop(frontier)
+            settled[u] = gen
+            order_append(u)
+            start = indptr[u]
+            end = indptr[u + 1]
+            relaxed += end - start
+            if allowed is None:
+                for k in range(start, end):
+                    candidate = d + warr[k]
+                    v = tarr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+            else:
+                for k in range(start, end):
+                    v = tarr[k]
+                    if settled[v] == gen:
+                        continue
+                    if allowed[v] != agen:
+                        pruned += 1
+                        continue
+                    candidate = d + warr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+        # Every pop settles or is stale, and every heap-length change is
+        # one push or one pop, so both tallies are derivable afterwards.
+        count = len(order) - before
+        pops = count + stale
+        pushed = pops + len(frontier) - frontier_before
+        self._flush(pops, stale, relaxed, pushed, pruned, count)
+
+    def run_to_exhaustion(self) -> None:
+        """Settle every reachable allowed vertex (pop-first: no radius
+        to peek for)."""
+        frontier = self._frontier
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        settled = self._settled
+        gen = self._gen
+        dist = self._dist
+        pred = self._pred
+        indptr = self.csr.indptr_list
+        tarr = self.csr.targets_list
+        warr = self.csr.weights_list
+        allowed = self._allowed_arr
+        agen = self._allowed_gen
+        order = self.settled_order
+        order_append = order.append
+        before = len(order)
+        frontier_before = len(frontier)
+        stale = relaxed = pruned = 0
+        while frontier:
+            d, u = heappop(frontier)
+            if settled[u] == gen:
+                stale += 1
+                continue
+            settled[u] = gen
+            order_append(u)
+            start = indptr[u]
+            end = indptr[u + 1]
+            relaxed += end - start
+            if allowed is None:
+                for k in range(start, end):
+                    candidate = d + warr[k]
+                    v = tarr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+            else:
+                for k in range(start, end):
+                    v = tarr[k]
+                    if settled[v] == gen:
+                        continue
+                    if allowed[v] != agen:
+                        pruned += 1
+                        continue
+                    candidate = d + warr[k]
+                    if candidate < dist[v]:
+                        dist[v] = candidate
+                        pred[v] = u
+                        heappush(frontier, (candidate, v))
+        # Every pop settles or is stale, and every heap-length change is
+        # one push or one pop, so both tallies are derivable afterwards.
+        count = len(order) - before
+        pops = count + stale
+        pushed = pops + len(frontier) - frontier_before
+        self._flush(pops, stale, relaxed, pushed, pruned, count)
+
+    def _flush(self, pops: int, stale: int, relaxed: int, pushed: int,
+               pruned: int, count: int) -> None:
+        """Batch-flush the bulk-loop tallies (cold path: once per run)."""
+        self.expanded += count
+        c = self.counters
+        c.heap_pops += pops
+        c.stale_skips += stale
+        c.edges_relaxed += relaxed
+        c.heap_pushes += pushed
+        c.vertices_settled += count
+        c.expansions_pruned += pruned
+
+    # ------------------------------------------------------------------
+    # Results / lifecycle
+    # ------------------------------------------------------------------
+
+    def tree(self) -> ShortestPathTree:
+        """Return the current state as a :class:`ShortestPathTree`; the
+        tree's ``dist``/``pred`` are live views over this search."""
+        return ShortestPathTree(self.source, self.dist, self.pred,
+                                exhausted=self.is_exhausted(),
+                                settled_order=self.settled_order)
+
+    def release(self) -> None:
+        """Recycle the scratch arena.
+
+        After release the search and its ``dist``/``pred`` views (and any
+        tree sharing them) read as *empty* -- the generation stamp is
+        retired and the arena reference dropped, so a recycled arena can
+        never leak another search's data into them.  Releasing twice is a
+        no-op.
+        """
+        if self._arena is not None:
+            arena, self._arena = self._arena, None
+            # Restore the pool's all-inf dist invariant: every dirtied
+            # vertex is either settled or still holds a frontier entry.
+            dist = self._dist
+            inf = math.inf
+            for v in self.settled_order:
+                dist[v] = inf
+            for _, v in self._frontier:
+                dist[v] = inf
+            self._gen = -1  # no cell ever carries this stamp
+            self.csr.release_arena(arena)
+
+
+# ----------------------------------------------------------------------
+# Engine selection + convenience wrappers
+# ----------------------------------------------------------------------
+
+def make_search(network: RoadNetwork, source: int,
+                allowed: Optional[Set[int]] = None,
+                counters: Optional[SearchCounters] = None,
+                engine: str = "flat",
+                ) -> Union[FlatDijkstraSearch, DijkstraSearch]:
+    """Construct a resumable SSSP search with the selected engine.
+
+    This is the single dispatch point the DPS entry points use; both
+    engines expose the same search API and produce identical results and
+    operation counts (the flat kernel's contract).
+    """
+    if resolve_engine(engine) == "flat":
+        return FlatDijkstraSearch(network, source, allowed=allowed,
+                                  counters=counters)
+    return DijkstraSearch(network, source, allowed=allowed,
+                          counters=counters)
+
+
+def release_search(search: Union[FlatDijkstraSearch, DijkstraSearch],
+                   ) -> None:
+    """Recycle a search's arena when it has one (no-op for the dict
+    engine) -- callers that provably drop every view call this."""
+    release = getattr(search, "release", None)
+    if release is not None:
+        release()
+
+
+def flat_astar(network: RoadNetwork, source: int, target: int,
+               allowed: Optional[Set[int]] = None,
+               counters: Optional[SearchCounters] = None) -> AStarResult:
+    """Point-to-point A* on the CSR arrays (Euclidean heuristic).
+
+    Operation-for-operation equivalent to
+    :func:`repro.shortestpath.astar.astar` -- same ``(f, g, vertex)``
+    heap entries in the same order, hence the same path, expansion count
+    and counters -- which is what lets the RoadPart cut computation
+    switch engines without changing a single cut (the index stays
+    byte-identical across engines).  The scratch arena is recycled on
+    return.
+    """
+    if allowed is not None and (source not in allowed
+                                or target not in allowed):
+        raise ValueError("source or target outside the allowed set")
+    csr = network.csr()
+    coords = network.coords
+    tx, ty = coords[target]
+    hypot = math.hypot
+    arena = csr.acquire_arena()
+    settled_list: List[int] = []
+    frontier: List[Tuple[float, float, int]] = []
+    try:
+        gen = arena.generation
+        dist = arena.dist
+        pred = arena.pred
+        settled = arena.settled
+        if allowed is None:
+            aarr = None
+            agen = 0
+        else:
+            agen = arena.new_allowed_generation()
+            aarr = arena.allowed
+            n = csr.num_vertices
+            for v in allowed:
+                if 0 <= v < n:
+                    aarr[v] = agen
+        indptr = csr.indptr_list
+        tarr = csr.targets_list
+        warr = csr.weights_list
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        obs = NULL_COUNTERS if counters is None else counters
+        obs.heap_pushes += 1  # the source seed
+        dist[source] = 0.0
+        sx, sy = coords[source]
+        frontier.append((hypot(sx - tx, sy - ty), 0.0, source))
+        expanded = 0
+        stale = 0
+        while frontier:
+            _, g, u = heappop(frontier)
+            if settled[u] == gen:
+                stale += 1
+                continue
+            settled[u] = gen
+            settled_list.append(u)
+            expanded += 1
+            if u == target:
+                obs.on_settle(stale + 1, stale, 0, 0)
+                path = [target]
+                v = target
+                while v != source:
+                    v = pred[v]
+                    path.append(v)
+                path.reverse()
+                return AStarResult(source, target, g, path, expanded)
+            start = indptr[u]
+            end = indptr[u + 1]
+            pushes = 0
+            pruned = 0
+            for k in range(start, end):
+                v = tarr[k]
+                if settled[v] == gen:
+                    continue
+                if aarr is not None and aarr[v] != agen:
+                    pruned += 1
+                    continue
+                candidate = g + warr[k]
+                if candidate < dist[v]:
+                    dist[v] = candidate
+                    pred[v] = u
+                    c = coords[v]
+                    heappush(frontier,
+                             (candidate + hypot(c[0] - tx, c[1] - ty),
+                              candidate, v))
+                    pushes += 1
+            obs.on_settle(stale + 1, stale, end - start, pushes, pruned)
+            stale = 0
+        if stale:
+            obs.on_stale(stale)
+        raise ValueError(
+            f"no path from {source} to {target}"
+            + (" within the allowed set" if allowed is not None else ""))
+    finally:
+        # Restore the pool's all-inf dist invariant before recycling.
+        inf = math.inf
+        for v in settled_list:
+            dist[v] = inf
+        for _, _, v in frontier:
+            dist[v] = inf
+        csr.release_arena(arena)

@@ -11,7 +11,7 @@ class TestArguments:
 
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig10", "table2", "fig11",
-                                    "sec7c", "ablations"}
+                                    "sec7c", "ablations", "sssp"}
 
     def test_registry_callables(self):
         for fn in EXPERIMENTS.values():

@@ -1,0 +1,80 @@
+"""Tests for the CSR view of a road network."""
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.network import RoadNetwork
+
+
+class TestStructure:
+    def test_matches_adjacency(self, grid5):
+        csr = CSRGraph.from_network(grid5)
+        assert csr.num_vertices == grid5.num_vertices
+        assert csr.num_arcs == sum(len(a) for a in grid5.adjacency)
+        for u, arcs in enumerate(grid5.adjacency):
+            start, end = csr.indptr[u], csr.indptr[u + 1]
+            assert end - start == len(arcs) == csr.degree(u)
+            # Arc order is preserved -- the flat kernel's settle-order
+            # equivalence with the dict engine depends on it.
+            assert list(csr.targets[start:end]) == [v for v, _ in arcs]
+            assert list(csr.weights[start:end]) == [w for _, w in arcs]
+
+    def test_list_mirrors_match_typed_arrays(self, grid5):
+        csr = CSRGraph.from_network(grid5)
+        assert csr.indptr_list == list(csr.indptr)
+        assert csr.targets_list == list(csr.targets)
+        assert csr.weights_list == list(csr.weights)
+
+    def test_cached_on_network(self, grid5):
+        assert grid5.csr() is grid5.csr()
+
+    def test_isolated_vertex(self):
+        network = RoadNetwork([(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)],
+                              [(0, 1, 1.0)])
+        csr = CSRGraph.from_network(network)
+        assert csr.degree(2) == 0
+        assert csr.num_arcs == 2  # both directions of the one edge
+
+
+class TestPickling:
+    def test_roundtrip_drops_pool(self, grid5):
+        csr = grid5.csr()
+        a = csr.acquire_arena()
+        csr.release_arena(a)  # one arena parked on the free list
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone.indptr == csr.indptr
+        assert clone.targets == csr.targets
+        assert clone.weights == csr.weights
+        assert clone.indptr_list == csr.indptr_list
+        # The clone starts with its own empty pool.
+        assert clone.acquire_arena() is not a
+
+
+class TestArenaPool:
+    def test_release_recycles(self):
+        csr = CSRGraph(array("l", [0, 1, 2]), array("l", [1, 0]),
+                       array("d", [1.0, 1.0]))
+        first = csr.acquire_arena()
+        gen = first.generation
+        csr.release_arena(first)
+        second = csr.acquire_arena()
+        assert second is first
+        assert second.generation > gen  # O(1) reset via generation bump
+
+    def test_acquire_when_empty_builds_fresh(self):
+        csr = CSRGraph(array("l", [0, 1, 2]), array("l", [1, 0]),
+                       array("d", [1.0, 1.0]))
+        a = csr.acquire_arena()
+        b = csr.acquire_arena()
+        assert a is not b
+
+    def test_release_rejects_wrong_size(self, grid5):
+        csr = grid5.csr()
+        small = CSRGraph(array("l", [0, 1, 2]), array("l", [1, 0]),
+                         array("d", [1.0, 1.0]))
+        arena = small.acquire_arena()
+        with pytest.raises(ValueError):
+            csr.release_arena(arena)

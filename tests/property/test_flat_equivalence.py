@@ -1,0 +1,97 @@
+"""Property tests pinning the flat CSR kernel to the dict engine.
+
+The flat kernel's contract is *operation equivalence*: same heap pushes
+in the same order, hence the same settle order, distances, predecessor
+paths and :class:`SearchCounters` totals.  These tests exercise the
+contract on random connected networks, including truncated (target
+set), radius-resumed and ``allowed``-restricted searches.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.counters import SearchCounters
+from repro.shortestpath.astar import astar
+from repro.shortestpath.dijkstra import DijkstraSearch
+from repro.shortestpath.flat import FlatDijkstraSearch, flat_astar
+from repro.shortestpath.paths import reconstruct_path
+
+from tests.property.test_dijkstra_property import connected_networks
+
+
+def _assert_equivalent(flat, ref, cf, cr):
+    assert flat.settled_order == ref.settled_order
+    assert set(flat.dist) == set(ref.dist)
+    for v in ref.dist:
+        assert math.isclose(flat.dist[v], ref.dist[v], rel_tol=1e-12,
+                            abs_tol=1e-12)
+    # Predecessor paths: walk both trees to every settled vertex.
+    for v in ref.dist:
+        assert (reconstruct_path(flat.pred, flat.source, v)
+                == reconstruct_path(ref.pred, ref.source, v))
+    assert cf.as_dict() == cr.as_dict()
+
+
+@given(connected_networks(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_full_sweep_equivalence(network, s_raw):
+    s = s_raw % network.num_vertices
+    cf, cr = SearchCounters(), SearchCounters()
+    flat = FlatDijkstraSearch(network, s, counters=cf)
+    ref = DijkstraSearch(network, s, counters=cr)
+    flat.run_to_exhaustion()
+    ref.run_to_exhaustion()
+    _assert_equivalent(flat, ref, cf, cr)
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.lists(st.integers(0, 10_000), min_size=1, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_truncated_then_resumed_equivalence(network, s_raw, t_raw):
+    """BL-E's shape: settle a target set, then resume out to 2r."""
+    s = s_raw % network.num_vertices
+    targets = [t % network.num_vertices for t in t_raw]
+    cf, cr = SearchCounters(), SearchCounters()
+    flat = FlatDijkstraSearch(network, s, counters=cf)
+    ref = DijkstraSearch(network, s, counters=cr)
+    assert (flat.run_until_settled(targets)
+            == ref.run_until_settled(targets))
+    _assert_equivalent(flat, ref, cf, cr)
+    radius = 2.0 * max(flat.dist[t] for t in targets)
+    flat.run_until_beyond(radius)
+    ref.run_until_beyond(radius)
+    _assert_equivalent(flat, ref, cf, cr)
+    assert flat.is_exhausted() == ref.is_exhausted()
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.sets(st.integers(0, 10_000), max_size=15))
+@settings(max_examples=30, deadline=None)
+def test_allowed_restriction_equivalence(network, s_raw, blocked_raw):
+    s = s_raw % network.num_vertices
+    blocked = {b % network.num_vertices for b in blocked_raw} - {s}
+    allowed = set(network.vertices()) - blocked
+    cf, cr = SearchCounters(), SearchCounters()
+    flat = FlatDijkstraSearch(network, s, allowed=allowed, counters=cf)
+    ref = DijkstraSearch(network, s, allowed=allowed, counters=cr)
+    flat.run_to_exhaustion()
+    ref.run_to_exhaustion()
+    _assert_equivalent(flat, ref, cf, cr)
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_flat_astar_equivalence(network, s_raw, t_raw):
+    s = s_raw % network.num_vertices
+    t = t_raw % network.num_vertices
+    cf, cr = SearchCounters(), SearchCounters()
+    a = flat_astar(network, s, t, counters=cf)
+    b = astar(network, s, t, counters=cr)
+    assert a.path == b.path
+    assert math.isclose(a.distance, b.distance, rel_tol=1e-12,
+                        abs_tol=1e-12)
+    assert a.expanded == b.expanded
+    assert cf.as_dict() == cr.as_dict()
