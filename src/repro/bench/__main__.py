@@ -128,11 +128,12 @@ def _run_sec7c(small: bool = False) -> None:
                           row.graph_sizes[graph],
                           row.dense_seconds[graph],
                           row.lazy_seconds[graph],
-                          row.expanded[graph]])
+                          row.expanded[graph],
+                          row.bidi_seconds[graph]])
     _emit("sec7c", render_table(
         "Section VII-C -- PPSP (A*) on road network vs DPS (USA-S)",
         ["eps", "pairs", "graph", "|V| available", "dense A* (s)",
-         "lazy A* (s)", "expanded (lazy)"], cells))
+         "lazy A* (s)", "expanded (lazy)", "bidi (s)"], cells))
 
 
 def _run_sssp(small: bool = False, check: bool = False) -> bool:
@@ -155,6 +156,43 @@ def _run_sssp(small: bool = False, check: bool = False) -> bool:
               f" (speedup {ratio:.2f}x)", file=sys.stderr)
         return False
     return True
+
+
+def _run_bridges(small: bool = False, check: bool = False) -> bool:
+    """Dual-heap kernel microbenchmark; returns False when the fused
+    flat loop misses its speedup floor (the ``--check`` CI guard)."""
+    from repro.bench.experiments.bridges import (
+        BRIDGES_CHECK_RATIO,
+        run_bridges,
+        speedup,
+    )
+    measures = run_bridges(repeats=2 if small else 5)
+    ratio = speedup(measures)
+    _emit("bridges", render_table(
+        f"Dual-heap kernel microbenchmark -- bridge domains on"
+        f" {measures[0].dataset} (flat/dict speedup {ratio:.2f}x)",
+        ["engine", "bridges", "targets", "median (s)", "domains/s"],
+        [[m.engine, m.bridges, m.targets, round(m.seconds, 4),
+          round(m.domains_per_second, 1)] for m in measures]))
+    if check and ratio < BRIDGES_CHECK_RATIO:
+        print(f"FAIL: fused flat dual-heap loop is below"
+              f" {BRIDGES_CHECK_RATIO}x the dict engine"
+              f" (speedup {ratio:.2f}x)", file=sys.stderr)
+        return False
+    return True
+
+
+def _run_throughput(small: bool = False) -> None:
+    from repro.bench.experiments.throughput import run_throughput
+    measures = run_throughput(query_count=4 if small else 8,
+                              repeats=1 if small else 3)
+    _emit("throughput", render_table(
+        f"Batched-query throughput -- {measures[0].algorithm} on"
+        f" {measures[0].dataset} (answers identical across jobs;"
+        f" speedup needs real cores)",
+        ["jobs", "queries", "median batch (s)", "queries/s"],
+        [[m.jobs, m.queries, round(m.seconds, 4),
+          round(m.queries_per_second, 2)] for m in measures]))
 
 
 def _run_ablations(small: bool = False) -> None:
@@ -192,7 +230,12 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "sec7c": _run_sec7c,
     "ablations": _run_ablations,
     "sssp": _run_sssp,
+    "bridges": _run_bridges,
+    "throughput": _run_throughput,
 }
+
+#: Experiments that take ``check=`` and gate the exit status.
+CHECKED_EXPERIMENTS = ("sssp", "bridges")
 
 
 def main(argv: List[str]) -> int:
@@ -207,8 +250,8 @@ def main(argv: List[str]) -> int:
         return 2
     status = 0
     for name in names:
-        if name == "sssp":
-            if _run_sssp(small=small, check=check) is False:
+        if name in CHECKED_EXPERIMENTS:
+            if EXPERIMENTS[name](small=small, check=check) is False:
                 status = 1
         else:
             EXPERIMENTS[name](small=small)

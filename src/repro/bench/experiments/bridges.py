@@ -1,0 +1,118 @@
+"""Dual-heap kernel microbenchmark: dict vs fused flat bridge domains.
+
+RoadPart's dominant query phase is ``bridge-domains`` -- one dual-heap
+search per examined bridge (Section V-B.2).  This experiment times that
+exact production workload with both engines: the examined bridge list
+of a mid-sweep EAST-S window query (obtained from the query processor's
+own classification and pruning, so the workload is what a real query
+runs, not all bridges), one :func:`bridge_domains` call per bridge per
+pass.
+
+Both engines perform the same heap operations (the fused flat loop's
+operation-equivalence contract), which the warm-up passes cross-check
+by comparing full counter sets; the timed repeats are interleaved
+(dict, flat, dict, flat, ...) so machine-load drift cancels out of the
+speedup ratio.
+
+``python -m repro.bench bridges --check`` fails (exit 1) when the fused
+flat dual-heap loop is below :data:`BRIDGES_CHECK_RATIO` x the dict
+engine -- the CI perf gate companion to ``bench sssp --check``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.bench.metrics import median
+from repro.bench.workloads import QDPSPoint
+from repro.core.dps import DPSQuery
+from repro.core.roadpart.query import RoadPartQueryProcessor
+from repro.datasets.queries import window_query
+from repro.obs.counters import SearchCounters
+from repro.shortestpath.bidirectional import bridge_domains
+
+#: Table II-scale stand-in whose bridge workload is measured.
+BRIDGES_DATASET = "EAST-S"
+#: Mid-sweep window size (the EAST-S ε sweep is 5-25%).
+BRIDGES_EPSILON = 0.15
+BRIDGES_REPEATS = 5
+#: The ``--check`` gate: flat must be at least this factor faster.
+BRIDGES_CHECK_RATIO = 1.3
+
+
+@dataclass
+class BridgeMeasure:
+    """One engine's timings over the examined-bridge workload."""
+
+    dataset: str
+    engine: str
+    bridges: int           #: examined bridges per pass
+    targets: int           #: query vertices each dual-heap search covers
+    seconds: float         #: median over the repeats
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def domains_per_second(self) -> float:
+        return self.bridges / self.seconds
+
+
+def run_bridges(dataset: str = BRIDGES_DATASET,
+                epsilon: float = BRIDGES_EPSILON,
+                repeats: int = BRIDGES_REPEATS) -> List[BridgeMeasure]:
+    """Time the bridge-domain sweep with both engines, interleaved.
+
+    The workload is deterministic: the standard Table II query window
+    for ``(dataset, epsilon)`` (content-derived seed) and whatever
+    bridges the default query processor examines for it.
+    """
+    network = dataset_network(dataset)
+    index = dataset_index(dataset)
+    point = QDPSPoint(dataset, epsilon)
+    query = DPSQuery.q_query(window_query(network, epsilon,
+                                          seed=point.seed))
+    processor = RoadPartQueryProcessor(index)
+    examined = processor.examined_bridges(query)
+    if not examined:
+        # A degenerate window examined nothing: fall back to every
+        # bridge so the kernels still get a workload to disagree on.
+        examined = sorted(index.bridges)
+    q_vertices = sorted(query.combined)
+    network.csr()  # built once and cached, like the R-trees: not timed
+    engines = ("dict", "flat")
+
+    def one_pass(engine, counters=None):
+        for u, v in examined:
+            domains = bridge_domains(network, u, v, q_vertices,
+                                     counters=counters, engine=engine)
+            domains.release()
+
+    # Warm-up doubles as the operation cross-check: identical counter
+    # totals or the speedup comparison is meaningless.
+    checks = {}
+    for engine in engines:
+        counters = SearchCounters()
+        one_pass(engine, counters)
+        checks[engine] = counters.as_dict()
+    if checks["dict"] != checks["flat"]:
+        raise AssertionError(
+            f"engines disagree on operation counts: {checks}")
+    samples = {engine: [] for engine in engines}
+    # Interleaved repeats (dict, flat, dict, flat, ...): slow machine
+    # load drift hits both engines equally and cancels out of the ratio.
+    for _ in range(repeats):
+        for engine in engines:
+            start = time.perf_counter()
+            one_pass(engine)
+            samples[engine].append(time.perf_counter() - start)
+    return [BridgeMeasure(dataset, engine, len(examined), len(q_vertices),
+                          median(samples[engine]), samples[engine])
+            for engine in engines]
+
+
+def speedup(measures: List[BridgeMeasure]) -> float:
+    """dict seconds / flat seconds (>1 means the fused loop wins)."""
+    by_engine = {m.engine: m for m in measures}
+    return by_engine["dict"].seconds / by_engine["flat"].seconds

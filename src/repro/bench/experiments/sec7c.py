@@ -18,7 +18,12 @@ The runner therefore measures both engines:
 - ``lazy``: the hash-map A* with an ``allowed``-set restriction --
   included to show that with lazy initialisation the remaining benefit
   is only the avoided stray expansion, which goal-directed A* makes
-  small.
+  small;
+- ``bidi``: the bidirectional Dijkstra PPSP engine
+  (:func:`~repro.shortestpath.bidirectional.bidirectional_ppsp`) with
+  the same ``allowed``-set restriction, run on the ``engine=`` kernel
+  the caller selects -- the comparison that shows the fused dual-heap
+  loop on a production PPSP workload.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.core.hull import convex_hull_dps
 from repro.core.roadpart.query import roadpart_dps
 from repro.datasets.queries import random_vertex_pairs, window_query
 from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_ppsp
 from repro.shortestpath.dense import DensePPSPEngine
 
 
@@ -51,6 +57,7 @@ class Sec7cRow:
     lazy_seconds: Dict[str, float]
     expanded: Dict[str, int]
     graph_sizes: Dict[str, int]
+    bidi_seconds: Dict[str, float]
 
 
 def _dense_time(graph, pairs) -> float:
@@ -69,10 +76,23 @@ def _lazy_run(network, pairs, allowed) -> tuple:
     return timer.seconds, expanded
 
 
+def _bidi_time(network, pairs, allowed, engine) -> float:
+    with Timer() as timer:
+        for s, t in pairs:
+            bidirectional_ppsp(network, s, t, allowed=allowed,
+                               engine=engine)
+    return timer.seconds
+
+
 def run_sec7c(dataset: str = SEC7C_DATASET,
               epsilons: Optional[List[float]] = None,
-              pair_count: int = SEC7C_PAIR_COUNT) -> List[Sec7cRow]:
-    """Run the PPSP-on-DPS comparison for each ε."""
+              pair_count: int = SEC7C_PAIR_COUNT,
+              engine: str = "flat") -> List[Sec7cRow]:
+    """Run the PPSP-on-DPS comparison for each ε.
+
+    ``engine`` selects the kernel for the DPS computations and the
+    ``bidi`` PPSP rows (identical answers either way; timings differ).
+    """
     network = dataset_network(dataset)
     index = dataset_index(dataset)
     rows: List[Sec7cRow] = []
@@ -80,8 +100,9 @@ def run_sec7c(dataset: str = SEC7C_DATASET,
         point = QDPSPoint(dataset, epsilon)
         q = window_query(network, epsilon, seed=point.seed)
         query = DPSQuery.q_query(q)
-        roadpart = roadpart_dps(index, query)
-        hull = convex_hull_dps(network, query, base=roadpart)
+        roadpart = roadpart_dps(index, query, engine=engine)
+        hull = convex_hull_dps(network, query, base=roadpart,
+                               engine=engine)
         pairs = random_vertex_pairs(network, q, pair_count,
                                     seed=point.seed + 1)
 
@@ -108,9 +129,18 @@ def run_sec7c(dataset: str = SEC7C_DATASET,
         lazy_seconds["hull-dps"], expanded["hull-dps"] = _lazy_run(
             network, pairs, set(hull.vertices))
 
+        bidi_seconds = {
+            "network": _bidi_time(network, pairs, None, engine),
+            "roadpart-dps": _bidi_time(network, pairs,
+                                       set(roadpart.vertices), engine),
+            "hull-dps": _bidi_time(network, pairs, set(hull.vertices),
+                                   engine),
+        }
+
         rows.append(Sec7cRow(epsilon, len(pairs), dense_seconds,
                              lazy_seconds, expanded,
                              {"network": network.num_vertices,
                               "roadpart-dps": roadpart.size,
-                              "hull-dps": hull.size}))
+                              "hull-dps": hull.size},
+                             bidi_seconds))
     return rows

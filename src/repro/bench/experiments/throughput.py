@@ -1,0 +1,93 @@
+"""Batched-query throughput: queries/sec through the serve driver.
+
+The ROADMAP's "heavy traffic" scenario is many independent DPS queries
+against one index.  This experiment pushes a fixed batch of Table II
+EAST-S window queries through :func:`repro.serve.run_queries` at each
+worker count and reports queries/sec.
+
+Two caveats keep this honest:
+
+- answers are asserted identical across worker counts (the driver's
+  byte-identity contract) -- the experiment can never "win" by
+  answering differently;
+- on a single-core container the ``jobs=2`` row shows fork overhead,
+  not speedup, so no ``--check`` gate exists here; the row documents
+  the scaling axis, the gains need real cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.experiments.common import dataset_index, dataset_network
+from repro.bench.metrics import median
+from repro.bench.workloads import QDPS_EPSILONS, QDPSPoint
+from repro.core.dps import DPSQuery
+from repro.datasets.queries import window_query
+from repro.serve import run_queries
+
+THROUGHPUT_DATASET = "EAST-S"
+THROUGHPUT_ALGORITHM = "roadpart"
+THROUGHPUT_QUERY_COUNT = 8
+THROUGHPUT_JOBS: Tuple[int, ...] = (1, 2)
+THROUGHPUT_REPEATS = 3
+
+
+@dataclass
+class ThroughputMeasure:
+    """One worker count's batch timings."""
+
+    dataset: str
+    algorithm: str
+    jobs: int
+    queries: int
+    seconds: float         #: median batch wall-clock over the repeats
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / self.seconds
+
+
+def run_throughput(dataset: str = THROUGHPUT_DATASET,
+                   algorithm: str = THROUGHPUT_ALGORITHM,
+                   jobs_list: Optional[Sequence[int]] = None,
+                   query_count: int = THROUGHPUT_QUERY_COUNT,
+                   repeats: int = THROUGHPUT_REPEATS,
+                   ) -> List[ThroughputMeasure]:
+    """Time one query batch at each worker count.
+
+    The batch cycles the dataset's Table II ε sweep (content-derived
+    seeds, offset per query so every window differs); every worker
+    count answers the same batch and must return the same answers.
+    """
+    network = dataset_network(dataset)
+    index = dataset_index(dataset) if algorithm == "roadpart" else None
+    epsilons = QDPS_EPSILONS[dataset]
+    queries = []
+    for i in range(query_count):
+        eps = epsilons[i % len(epsilons)]
+        point = QDPSPoint(dataset, eps)
+        queries.append(DPSQuery.q_query(
+            window_query(network, eps, seed=point.seed + i)))
+    network.csr()  # built once and cached: not timed
+    baseline = None
+    measures: List[ThroughputMeasure] = []
+    for jobs in (jobs_list or THROUGHPUT_JOBS):
+        samples = []
+        answers = None
+        for _ in range(repeats):
+            outcome = run_queries(algorithm, queries, network=network,
+                                  index=index, jobs=jobs)
+            samples.append(outcome.seconds)
+            answers = [r.vertices for r in outcome.results]
+        if baseline is None:
+            baseline = answers
+        elif answers != baseline:
+            raise AssertionError(
+                f"jobs={jobs} changed the batch answers")
+        measures.append(ThroughputMeasure(dataset, algorithm, jobs,
+                                          len(queries), median(samples),
+                                          samples))
+    return measures

@@ -21,6 +21,12 @@ subgraph's ids back to the original network.
 and search-operation counters of :mod:`repro.obs`; ``--stats-json``
 emits the same as a JSON document on stdout (human chatter moves to
 stderr) -- see docs/observability.md.
+
+``query --batch N --jobs M`` answers ``N`` window queries through the
+:mod:`repro.serve` batched-query driver, fanning them over ``M``
+fork-based workers; answers are byte-identical to the serial loop, the
+summary line reports queries/sec, and ``--stats`` prints the merged
+batch-level stats.
 """
 
 from __future__ import annotations
@@ -134,8 +140,51 @@ def _parse_query(args, network: RoadNetwork) -> DPSQuery:
     return DPSQuery.q_query(q)
 
 
+def _cmd_query_batch(args, network: RoadNetwork) -> int:
+    """The ``--batch``/``--jobs`` path: answer N window queries through
+    the :mod:`repro.serve` driver (optionally over fork workers)."""
+    from repro.serve import run_queries
+    chat = sys.stderr if args.stats_json else sys.stdout
+    if args.vertices:
+        print("error: --vertices answers one explicit query; drop"
+              " --batch/--jobs", file=sys.stderr)
+        return 2
+    if args.refine or args.verify or args.out:
+        print("error: --refine/--verify/--out answer one query; drop"
+              " --batch/--jobs", file=sys.stderr)
+        return 2
+    count = max(args.batch, 1)
+    queries = [DPSQuery.q_query(window_query(network, args.epsilon,
+                                             seed=args.seed + i))
+               for i in range(count)]
+    index = None
+    if args.algorithm == "roadpart":
+        if not args.index:
+            print("error: --algorithm roadpart requires --index",
+                  file=sys.stderr)
+            return 2
+        index = RoadPartIndex.load(args.index, network)
+    want_stats = args.stats or args.stats_json
+    outcome = run_queries(args.algorithm, queries, network=network,
+                          index=index, jobs=args.jobs, engine=args.engine,
+                          collect_stats=want_stats)
+    for i, result in enumerate(outcome.results):
+        print(f"[{i}] {result.algorithm}: DPS of {result.size} vertices"
+              f" in {result.seconds:.3f}s", file=chat)
+    print(f"batch: {len(queries)} queries in {outcome.seconds:.3f}s"
+          f" ({outcome.queries_per_second:.1f} q/s,"
+          f" jobs={outcome.jobs})", file=chat)
+    if args.stats_json:
+        print(json.dumps(outcome.stats.to_dict(), indent=2))
+    elif args.stats:
+        print(outcome.stats.render())
+    return 0
+
+
 def _cmd_query(args) -> int:
     network = _load_network(args)
+    if args.batch > 1 or args.jobs > 1:
+        return _cmd_query_batch(args, network)
     query = _parse_query(args, network)
     # With --stats-json, stdout carries only the JSON document (pipe it
     # straight into a tool); the human progress lines move to stderr.
@@ -256,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="flat",
                        help="SSSP kernel (identical answers and"
                             " counters either way)")
+    query.add_argument("--batch", type=int, default=1,
+                       help="answer N window queries (seeds --seed ..."
+                            " --seed+N-1) through the repro.serve batch"
+                            " driver")
+    query.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --batch (fork-based;"
+                            " answers are byte-identical to --jobs 1)")
     query.add_argument("--stats", action="store_true",
                        help="print phase timings and search counters")
     query.add_argument("--stats-json", action="store_true",

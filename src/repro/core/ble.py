@@ -72,6 +72,7 @@ def run_ble_search(network: RoadNetwork, query: DPSQuery,
         settled_all = search.run_until_settled(q)
     if not settled_all:
         unreached = [v for v in q if v not in search.dist]
+        release_search(search)  # failed search holds no useful views
         raise ValueError(
             f"network is not connected: {len(unreached)} query vertices"
             f" unreachable from the centre vertex {center_vertex}")

@@ -51,6 +51,7 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
             settled_all = search.run_until_settled(target_list)
         if not settled_all:
             unreached = [t for t in target_list if t not in search.dist]
+            release_search(search)  # failed search holds no useful views
             raise ValueError(
                 f"network is not connected: {len(unreached)} targets"
                 f" unreachable from {s} (e.g. {unreached[:3]})")

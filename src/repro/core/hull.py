@@ -154,6 +154,7 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
                              counters=counters, engine=engine)
         if not search.run_until_settled(targets):
             unreached = [t for t in targets if t not in search.dist]
+            release_search(search)  # failed search holds no useful views
             raise ValueError(
                 f"input graph disconnects border vertices: {len(unreached)}"
                 f" unreachable from {b}")

@@ -88,9 +88,10 @@ class RoadPartQueryProcessor:
         Skip every pruning rule and run the domain computation on all
         bridges (the ablation baseline; slow but maximally conservative).
     engine:
-        SSSP kernel (``'flat'`` or ``'dict'``) for the Corollary 3 BL-E
-        ball; both engines give identical results and counters -- see
-        :mod:`repro.shortestpath.flat`.
+        Search kernel (``'flat'`` or ``'dict'``) for *every* sweep the
+        query runs -- the Corollary 3 BL-E ball and each bridge's
+        dual-heap domain computation; both engines give identical
+        results and counters -- see :mod:`repro.shortestpath.flat`.
     """
 
     def __init__(self, index: RoadPartIndex, window_mode: str = "tight",
@@ -130,12 +131,7 @@ class RoadPartQueryProcessor:
 
         # --- window ----------------------------------------------------
         with stats.phase("window"):
-            query_regions = regions.regions_of_vertices(q_vertices)
-            query_vectors = [regions.vectors[rid] for rid in query_regions]
-            if self._window_mode == "tight":
-                window = tight_window(query_vectors)
-            else:
-                window = loose_window(query_vectors)
+            window, query_regions = self._window(q_vertices)
 
         # --- region pruning (Theorem 2) ---------------------------------
         collected: Set[int] = set()
@@ -161,14 +157,39 @@ class RoadPartQueryProcessor:
 
     # ------------------------------------------------------------------
 
-    def _handle_bridges(self, query: DPSQuery, window,
-                        collected: Set[int],
-                        stats: QueryStats) -> Tuple[int, int]:
-        """Prune, examine and patch bridges; returns ``(b, b_v)``."""
+    def _window(self, q_vertices: List[int]):
+        """Compute the window ``W`` and the query regions ``R(Q)``."""
+        regions = self._index.regions
+        query_regions = regions.regions_of_vertices(q_vertices)
+        query_vectors = [regions.vectors[rid] for rid in query_regions]
+        if self._window_mode == "tight":
+            window = tight_window(query_vectors)
+        else:
+            window = loose_window(query_vectors)
+        return window, query_regions
+
+    def examined_bridges(self, query: DPSQuery,
+                         stats: Optional[QueryStats] = None,
+                         ) -> List[EdgeKey]:
+        """Return the bridges this processor would *examine* for
+        ``query`` -- classification and pruning only, no domain
+        computation.  Used by ``bench bridges`` to time the dual-heap
+        kernel over exactly the production bridge workload.
+        """
+        network = self._index.network
+        query.validate_against(network)
+        stats = resolve_stats(stats)
+        with stats.phase("window"):
+            window, _ = self._window(sorted(query.combined))
+        return self._select_bridges(query, window, stats)
+
+    def _select_bridges(self, query: DPSQuery, window,
+                        stats: QueryStats) -> List[EdgeKey]:
+        """Classify and prune bridges; returns the examined list."""
         network = self._index.network
         bridges = self._index.bridges
         if not bridges:
-            return 0, 0
+            return []
         regions = self._index.regions
         counters = stats.counters
 
@@ -211,7 +232,14 @@ class RoadPartQueryProcessor:
                 else:
                     to_examine = sorted(cut_bridges)
                 to_examine = sorted(set(to_examine) | set(exterior_bridges))
+        return to_examine
 
+    def _handle_bridges(self, query: DPSQuery, window,
+                        collected: Set[int],
+                        stats: QueryStats) -> Tuple[int, int]:
+        """Prune, examine and patch bridges; returns ``(b, b_v)``."""
+        network = self._index.network
+        to_examine = self._select_bridges(query, window, stats)
         q_vertices = sorted(query.combined)
         examined = 0
         valid = 0
@@ -219,9 +247,12 @@ class RoadPartQueryProcessor:
             examined += 1
             with stats.phase("bridge-domains"):
                 domains = bridge_domains(network, u, v, q_vertices,
-                                         counters=counters)
+                                         counters=stats.counters,
+                                         engine=self._engine)
             if not domains.ud_star or not domains.vd_star:
-                continue  # Theorem 5: this bridge carries no query path
+                # Theorem 5: this bridge carries no query path.
+                domains.release()
+                continue
             valid += 1
             with stats.phase("path-patch"):
                 members = sorted(domains.ud_star | domains.vd_star)
@@ -229,6 +260,8 @@ class RoadPartQueryProcessor:
                                       collected)
                 collect_path_vertices(domains.search_v.pred, v, members,
                                       collected)
+            # Pred views consumed; recycle both arenas into the pool.
+            domains.release()
         return examined, valid
 
 

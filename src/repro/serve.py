@@ -1,0 +1,192 @@
+"""Batched-query driver: fan independent DPS queries over processes.
+
+DPS queries are embarrassingly parallel -- each one only *reads* the
+network (and, for RoadPart, the offline index) -- so a batch scales
+across workers with zero coordination.  :func:`run_queries` answers a
+batch either serially or over a fork-based ``ProcessPoolExecutor``:
+
+- the network, its CSR arrays and the index are inherited copy-on-write
+  (no per-task pickling; the same ``_CTX`` idiom as the parallel index
+  build in :mod:`repro.core.roadpart.parallel`);
+- scratch arenas are per-process by construction -- each worker's
+  searches acquire from its own (copy-on-write) pool, and
+  :class:`repro.graph.csr.CSRGraph` drops the pool when a CSR is
+  pickled, so no arena state ever crosses a process boundary;
+- results come back in query order, and the answers are **byte-identical
+  to the serial loop** (each query is a deterministic function of the
+  network/index -- pinned by ``tests/test_serve.py``).  Parallelism
+  changes only wall-clock time, which is what the ``bench throughput``
+  experiment reports as queries/sec.
+
+Per-query :class:`~repro.obs.stats.QueryStats` can be collected and are
+merged into one batch-level stats object by :func:`merge_query_stats`
+(phase seconds and counters sum across queries; ``seconds`` becomes the
+total *work* time, which exceeds wall-clock once ``jobs > 1``).
+
+Exposed on the CLI as ``repro query --batch N --jobs N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery, DPSResult
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.index import RoadPartIndex
+from repro.core.roadpart.parallel import fork_available
+from repro.core.roadpart.query import roadpart_dps
+from repro.graph.network import RoadNetwork
+from repro.obs.stats import QueryStats
+
+#: The DPS algorithms the driver dispatches to.
+ALGORITHMS = ("roadpart", "blq", "ble", "hull")
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one batch run produced.
+
+    ``seconds`` is the batch wall-clock (queue to last answer);
+    ``per_query`` holds one :class:`QueryStats` per query (None entries
+    when stats collection was off) and ``stats`` their merged sum.
+    """
+
+    algorithm: str
+    jobs: int
+    results: List[DPSResult]
+    seconds: float
+    per_query: List[Optional[QueryStats]]
+    stats: Optional[QueryStats]
+
+    @property
+    def queries_per_second(self) -> float:
+        """The throughput measure ``bench throughput`` reports."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.seconds
+
+
+def merge_query_stats(stats_list: Iterable[QueryStats]) -> QueryStats:
+    """Sum per-query stats into one batch-level :class:`QueryStats`.
+
+    Phase seconds, counters, ``seconds`` and ``result_size`` accumulate;
+    numeric extras (``b``, ``bv``, ``border``, ``sssp_rounds``, ...) sum
+    as well, so e.g. the merged ``b`` is the batch's total examined
+    bridges.  ``algorithm``/``network_size`` are taken from the inputs
+    (identical across a batch by construction).
+    """
+    merged = QueryStats()
+    for qs in stats_list:
+        merged.algorithm = qs.algorithm or merged.algorithm
+        merged.seconds += qs.seconds
+        for label, secs in qs.phases.items():
+            merged.phases[label] = merged.phases.get(label, 0.0) + secs
+        merged.counters.merge(qs.counters)
+        merged.result_size += qs.result_size
+        merged.network_size = qs.network_size or merged.network_size
+        for key, value in qs.extras.items():
+            if isinstance(value, (int, float)):
+                merged.extras[key] = merged.extras.get(key, 0) + value
+    return merged
+
+
+def _answer_one(algorithm: str, network: RoadNetwork,
+                index: Optional[RoadPartIndex], query: DPSQuery,
+                engine: str, want_stats: bool,
+                ) -> Tuple[DPSResult, Optional[QueryStats]]:
+    """Answer a single query with the selected algorithm."""
+    qstats = QueryStats() if want_stats else None
+    if algorithm == "roadpart":
+        result = roadpart_dps(index, query, stats=qstats, engine=engine)
+    elif algorithm == "blq":
+        result = bl_quality(network, query, stats=qstats, engine=engine)
+    elif algorithm == "ble":
+        result = bl_efficiency(network, query, stats=qstats, engine=engine)
+    else:  # "hull" -- run_queries validated the name already
+        result = convex_hull_dps(network, query, stats=qstats,
+                                 engine=engine)
+    return result, qstats
+
+
+#: Worker input, inherited via fork copy-on-write.  Set by
+#: :func:`run_queries` immediately before the executor is created and
+#: cleared when the batch is done.
+_CTX: Dict[str, object] = {}
+
+
+def _batch_worker(indices: List[int]):
+    """Answer one chunk of query indices; returns ``(i, result, stats)``
+    triples so the parent can reassemble in query order."""
+    queries: List[DPSQuery] = _CTX["queries"]  # type: ignore[assignment]
+    out = []
+    for i in indices:
+        result, qstats = _answer_one(
+            _CTX["algorithm"], _CTX["network"],  # type: ignore[arg-type]
+            _CTX["index"], queries[i],  # type: ignore[arg-type]
+            _CTX["engine"], _CTX["want_stats"])  # type: ignore[arg-type]
+        out.append((i, result, qstats))
+    return out
+
+
+def run_queries(algorithm: str, queries: Iterable[DPSQuery],
+                network: Optional[RoadNetwork] = None,
+                index: Optional[RoadPartIndex] = None,
+                jobs: int = 1, engine: str = "flat",
+                collect_stats: bool = False) -> BatchOutcome:
+    """Answer a batch of independent DPS queries, optionally in parallel.
+
+    ``algorithm`` is one of :data:`ALGORITHMS`; ``roadpart`` requires
+    ``index`` (its network is used unless ``network`` overrides), the
+    rest require ``network``.  ``jobs > 1`` fans the queries over a
+    fork-based process pool (round-robin chunks, answers reassembled in
+    query order); with one query, ``jobs=1`` or no ``fork`` start method
+    the serial loop runs instead.  Results are identical either way.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if algorithm == "roadpart":
+        if index is None:
+            raise ValueError("algorithm 'roadpart' needs index=")
+        if network is None:
+            network = index.network
+    elif network is None:
+        raise ValueError(f"algorithm {algorithm!r} needs network=")
+    query_list = list(queries)
+    results: List[Optional[DPSResult]] = [None] * len(query_list)
+    per_query: List[Optional[QueryStats]] = [None] * len(query_list)
+    started = time.perf_counter()
+    if jobs > 1 and len(query_list) > 1 and fork_available():
+        global _CTX
+        network.csr()  # build once pre-fork; workers inherit it COW
+        _CTX = {"algorithm": algorithm, "network": network, "index": index,
+                "queries": query_list, "engine": engine,
+                "want_stats": collect_stats}
+        ctx = multiprocessing.get_context("fork")
+        try:
+            chunks = [c for c in (list(range(len(query_list)))[i::jobs]
+                                  for i in range(jobs)) if c]
+            with ProcessPoolExecutor(max_workers=len(chunks),
+                                     mp_context=ctx) as pool:
+                for chunk_out in pool.map(_batch_worker, chunks):
+                    for i, result, qstats in chunk_out:
+                        results[i] = result
+                        per_query[i] = qstats
+        finally:
+            _CTX = {}
+    else:
+        for i, query in enumerate(query_list):
+            results[i], per_query[i] = _answer_one(
+                algorithm, network, index, query, engine, collect_stats)
+    seconds = time.perf_counter() - started
+    merged = None
+    if collect_stats:
+        merged = merge_query_stats(qs for qs in per_query if qs is not None)
+    return BatchOutcome(algorithm, jobs, results, seconds,  # type: ignore
+                        per_query, merged)

@@ -13,7 +13,11 @@ the road network:
   experiment).
 - :mod:`repro.shortestpath.bidirectional` -- the dual-heap search of
   Section V-B.2 that computes both bridge domains in one pass, plus a
-  classic bidirectional Dijkstra for point-to-point queries.
+  classic bidirectional Dijkstra for point-to-point queries.  Both run
+  on the fused flat kernels by default (``engine="flat"``).
+- :mod:`repro.shortestpath.flat` -- the array-based CSR kernel behind
+  every hot sweep: :class:`FlatDijkstraSearch` plus the fused dual-heap
+  loops ``flat_bridge_domains`` / ``flat_bidirectional_ppsp``.
 - :mod:`repro.shortestpath.paths` -- predecessor-tree path reconstruction
   and the ``O(|E|)`` vertex-collection routine of Section III-A.
 - :mod:`repro.shortestpath.dense` -- the array-based A* of the paper's
@@ -32,6 +36,11 @@ from repro.shortestpath.bidirectional import bidirectional_ppsp, bridge_domains
 from repro.shortestpath.ch import ContractionHierarchy
 from repro.shortestpath.dense import DensePPSPEngine
 from repro.shortestpath.dijkstra import ShortestPathTree, sssp
+from repro.shortestpath.flat import (
+    FlatDijkstraSearch,
+    flat_bidirectional_ppsp,
+    flat_bridge_domains,
+)
 from repro.shortestpath.heap import AddressableHeap
 from repro.shortestpath.hub_labels import HubLabelIndex
 from repro.shortestpath.paths import collect_path_vertices, reconstruct_path
@@ -41,12 +50,15 @@ __all__ = [
     "AddressableHeap",
     "ContractionHierarchy",
     "DensePPSPEngine",
+    "FlatDijkstraSearch",
     "HubLabelIndex",
     "ShortestPathTree",
     "astar",
     "bidirectional_ppsp",
     "bridge_domains",
     "collect_path_vertices",
+    "flat_bidirectional_ppsp",
+    "flat_bridge_domains",
     "reconstruct_path",
     "sssp",
 ]

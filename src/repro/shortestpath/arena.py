@@ -96,6 +96,12 @@ class ArenaPool:
         self._free: List[SearchArena] = []
         self._max_free = max_free
 
+    @property
+    def free_count(self) -> int:
+        """Number of recycled arenas currently idle in the pool (used by
+        the arena-leak regression tests)."""
+        return len(self._free)
+
     def acquire(self) -> SearchArena:
         if self._free:
             arena = self._free.pop()

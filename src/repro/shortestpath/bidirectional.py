@@ -12,6 +12,14 @@ Two distinct uses of "search from both ends" appear in the paper:
 2. **Classic bidirectional point-to-point Dijkstra**, provided as an extra
    PPSP engine for the Section VII-C comparisons
    (:func:`bidirectional_ppsp`).
+
+Both entry points take ``engine="flat"|"dict"``.  The default dispatches
+to the fused dual-heap loops of :mod:`repro.shortestpath.flat`
+(``flat_bridge_domains`` / ``flat_bidirectional_ppsp``), which advance
+two pooled-arena searches inside one tight loop; the dict loops in this
+module remain the reference engine, and the two are operation-equivalent
+(same alternation ties, settle orders, distances, paths and counters --
+pinned by ``tests/property/test_dualheap_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -40,15 +48,24 @@ class BridgeDomains:
     ``ud_star``/``vd_star`` are ``UD*`` and ``VD*`` of the paper: the
     domain members restricted to the query set.  The two searches are kept
     so the caller can reconstruct ``sp(x, u)`` / ``sp(x, v)`` without
-    re-running Dijkstra.
+    re-running Dijkstra -- either engine's resumable search (same
+    ``dist``/``pred`` read API).  Call :meth:`release` once those views
+    are consumed so flat arenas return to their pool.
     """
 
     u: int
     v: int
     ud_star: Set[int]
     vd_star: Set[int]
-    search_u: DijkstraSearch
-    search_v: DijkstraSearch
+    search_u: object
+    search_v: object
+
+    def release(self) -> None:
+        """Recycle both searches' scratch arenas (no-op for the dict
+        engine).  After release the ``dist``/``pred`` views read empty."""
+        from repro.shortestpath.flat import release_search
+        release_search(self.search_u)
+        release_search(self.search_v)
 
 
 def _in_domain(dist_near: float, dist_far: float, bridge_weight: float) -> bool:
@@ -60,7 +77,7 @@ def _in_domain(dist_near: float, dist_far: float, bridge_weight: float) -> bool:
 def bridge_domains(network: RoadNetwork, u: int, v: int,
                    targets: Iterable[int],
                    counters: Optional[SearchCounters] = None,
-                   ) -> BridgeDomains:
+                   engine: str = "flat") -> BridgeDomains:
     """Compute ``UD*`` and ``VD*`` for bridge ``(u, v)`` over ``targets``.
 
     Runs the paper's dual-heap loop: the search (from ``u`` or from ``v``)
@@ -69,7 +86,16 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
     ``UD*`` when ``dist(x, u) = dist(x, v) + |vu|`` (the shortest path from
     ``x`` to ``u`` runs through ``v`` over the bridge), and ``VD*``
     symmetrically.  Theorem 4 guarantees the two sets are disjoint.
+
+    ``engine="flat"`` (default) runs the fused dual-heap kernel over
+    pooled CSR arenas; ``engine="dict"`` runs the dict loop below.  Both
+    produce identical domains, searches and counters.
     """
+    # Imported here, not at module top: flat.py builds on this module.
+    from repro.shortestpath.flat import flat_bridge_domains, resolve_engine
+    if resolve_engine(engine) == "flat":
+        return flat_bridge_domains(network, u, v, targets,
+                                   counters=counters)
     bridge_weight = network.edge_weight(u, v)
     target_set = set(targets)
     # One shared counter set: the two directions report as one search.
@@ -105,14 +131,24 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
 def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
                        allowed: Optional[Set[int]] = None,
                        counters: Optional[SearchCounters] = None,
-                       ) -> Tuple[float, List[int]]:
+                       engine: str = "flat") -> Tuple[float, List[int]]:
     """Classic bidirectional Dijkstra point-to-point query.
 
     Alternates forward and backward searches by smaller frontier key and
     stops when the frontier keys together exceed the best meeting-point
     distance.  Returns ``(distance, path)``; raises ValueError when no
     path exists.
+
+    ``engine="flat"`` (default) runs the fused loop over pooled CSR
+    arenas (arenas recycled on return); ``engine="dict"`` runs the dict
+    loop below.  Both produce identical paths and counters.
     """
+    # Imported here, not at module top: flat.py builds on this module.
+    from repro.shortestpath.flat import (flat_bidirectional_ppsp,
+                                         resolve_engine)
+    if resolve_engine(engine) == "flat":
+        return flat_bidirectional_ppsp(network, source, target,
+                                       allowed=allowed, counters=counters)
     if source == target:
         return 0.0, [source]
     forward = DijkstraSearch(network, source, allowed, counters=counters)

@@ -28,9 +28,17 @@ arrays of :mod:`repro.graph.csr` with generation-stamped scratch arenas
 the dict engine pushes, in the same order (CSR arc order == adjacency
 order), so settle order, predecessor assignments, distances *and the
 operation counters* are identical -- pinned by the property tests in
-``tests/property/test_flat_equivalence.py``.  The bulk ``run_*`` loops
-batch their counter updates (plain local ints, flushed once per call),
-which changes when counts become visible but never their totals.
+``tests/property/test_flat_equivalence.py`` (and
+``tests/property/test_dualheap_equivalence.py`` for the fused dual-heap
+loops below).  The bulk ``run_*`` loops batch their counter updates
+(plain local ints, flushed once per call), which changes when counts
+become visible but never their totals.
+
+Beyond the single-search class, the module provides *fused dual-heap*
+kernels -- :func:`flat_bridge_domains` and :func:`flat_bidirectional_ppsp`
+-- that advance two pooled-arena searches inside one tight loop,
+eliminating the per-pop ``next_key()``/``settle_next()`` method-call
+round-trips the dict formulation pays twice per settle.
 
 Engine selection: the DPS entry points take ``engine="flat"|"dict"`` and
 construct searches through :func:`make_search`; the dict engine remains
@@ -48,6 +56,7 @@ from repro.graph.network import RoadNetwork
 from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.astar import AStarResult
 from repro.shortestpath.dijkstra import DijkstraSearch, ShortestPathTree
+from repro.shortestpath.paths import reconstruct_path
 
 #: The engine names the ``engine=`` selectors accept.
 ENGINES = ("flat", "dict")
@@ -548,6 +557,286 @@ def release_search(search: Union[FlatDijkstraSearch, DijkstraSearch],
     release = getattr(search, "release", None)
     if release is not None:
         release()
+
+
+def flat_bridge_domains(network: RoadNetwork, u: int, v: int,
+                        targets: Iterable[int],
+                        counters: Optional[SearchCounters] = None):
+    """Fused dual-heap bridge-domain computation (Section V-B.2).
+
+    One tight loop advances *two* pooled-arena searches -- from ``u`` and
+    from ``v`` -- by the paper's smaller-min-key rule, with no per-pop
+    ``next_key()``/``settle_next()`` method round-trips.  Operation-for-
+    operation equivalent to the dict loop in
+    :func:`repro.shortestpath.bidirectional.bridge_domains`: the same
+    alternation ties (``key_u <= key_v`` advances ``u``), the same
+    per-side stale drains (a side whose pending set emptied stops
+    draining, exactly as the dict loop stops calling its ``next_key``),
+    hence the same settle orders, distances, predecessors and counter
+    totals -- pinned by ``tests/property/test_dualheap_equivalence.py``.
+
+    Returns a :class:`~repro.shortestpath.bidirectional.BridgeDomains`
+    whose searches are flat; call its ``release()`` once the pred views
+    are consumed so both arenas return to the pool.
+    """
+    # Imported here, not at module top: bidirectional.py dispatches to
+    # this function (same cycle-breaking idiom as dijkstra.sssp).
+    from repro.shortestpath.bidirectional import BridgeDomains, _in_domain
+
+    bridge_weight = network.edge_weight(u, v)
+    target_set = set(targets)
+    # One shared counter set: the two directions report as one search.
+    search_u = FlatDijkstraSearch(network, u, counters=counters)
+    search_v = FlatDijkstraSearch(network, v, counters=counters)
+    fu = search_u._frontier
+    fv = search_v._frontier
+    settled_u = search_u._settled
+    settled_v = search_v._settled
+    gen_u = search_u._gen
+    gen_v = search_v._gen
+    dist_u = search_u._dist
+    dist_v = search_v._dist
+    pred_u = search_u._pred
+    pred_v = search_v._pred
+    order_u = search_u.settled_order
+    order_v = search_v.settled_order
+    csr = search_u.csr
+    indptr = csr.indptr_list
+    tarr = csr.targets_list
+    warr = csr.weights_list
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    pending_u = set(target_set)
+    pending_v = set(target_set)
+    fu_before = len(fu)
+    fv_before = len(fv)
+    stale_u = stale_v = relaxed_u = relaxed_v = 0
+    while pending_u or pending_v:
+        if pending_u:
+            while fu and settled_u[fu[0][1]] == gen_u:
+                heappop(fu)  # stale entry
+                stale_u += 1
+            key_u = fu[0][0] if fu else None
+        else:
+            key_u = None
+        if pending_v:
+            while fv and settled_v[fv[0][1]] == gen_v:
+                heappop(fv)  # stale entry
+                stale_v += 1
+            key_v = fv[0][0] if fv else None
+        else:
+            key_v = None
+        if key_u is None and key_v is None:
+            break  # disconnected remainder; unreachable targets stay out
+        if key_v is None or (key_u is not None and key_u <= key_v):
+            # The drain above left a fresh entry on top (staleness is
+            # per-search), so this pop settles unconditionally.
+            d, x = heappop(fu)
+            settled_u[x] = gen_u
+            order_u.append(x)
+            start = indptr[x]
+            end = indptr[x + 1]
+            relaxed_u += end - start
+            for k in range(start, end):
+                candidate = d + warr[k]
+                w = tarr[k]
+                if candidate < dist_u[w]:
+                    dist_u[w] = candidate
+                    pred_u[w] = x
+                    heappush(fu, (candidate, w))
+            pending_u.discard(x)
+        else:
+            d, x = heappop(fv)
+            settled_v[x] = gen_v
+            order_v.append(x)
+            start = indptr[x]
+            end = indptr[x + 1]
+            relaxed_v += end - start
+            for k in range(start, end):
+                candidate = d + warr[k]
+                w = tarr[k]
+                if candidate < dist_v[w]:
+                    dist_v[w] = candidate
+                    pred_v[w] = x
+                    heappush(fv, (candidate, w))
+            pending_v.discard(x)
+    count_u = len(order_u)
+    count_v = len(order_v)
+    pops_u = count_u + stale_u
+    pops_v = count_v + stale_v
+    search_u._flush(pops_u, stale_u, relaxed_u,
+                    pops_u + len(fu) - fu_before, 0, count_u)
+    search_v._flush(pops_v, stale_v, relaxed_v,
+                    pops_v + len(fv) - fv_before, 0, count_v)
+    ud_star: Set[int] = set()
+    vd_star: Set[int] = set()
+    dget_u = search_u.dist.get
+    dget_v = search_v.dist.get
+    for x in target_set:
+        du = dget_u(x)
+        dv = dget_v(x)
+        if du is None or dv is None:
+            continue
+        if _in_domain(du, dv, bridge_weight):
+            ud_star.add(x)
+        elif _in_domain(dv, du, bridge_weight):
+            vd_star.add(x)
+    return BridgeDomains(u, v, ud_star, vd_star, search_u, search_v)
+
+
+def flat_bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
+                            allowed: Optional[Set[int]] = None,
+                            counters: Optional[SearchCounters] = None,
+                            ) -> Tuple[float, List[int]]:
+    """Fused bidirectional point-to-point Dijkstra on the CSR arrays.
+
+    One tight loop over both pooled-arena searches, replacing the dict
+    loop's per-pop ``next_key()``/``settle_next()`` round-trips.
+    Operation-equivalent to
+    :func:`repro.shortestpath.bidirectional.bidirectional_ppsp`: both
+    stale drains run every iteration (the dict loop calls both
+    ``next_key``s unconditionally), the alternation tie goes forward,
+    and the frontier-sum stop rule fires at the same iteration -- so
+    meeting vertex, distance, path and counters all match.  Both arenas
+    are recycled before returning (or raising).
+    """
+    if source == target:
+        return 0.0, [source]
+    forward = FlatDijkstraSearch(network, source, allowed, counters=counters)
+    try:
+        backward = FlatDijkstraSearch(network, target, allowed,
+                                      counters=counters)
+    except ValueError:
+        forward.release()
+        raise
+    inf = math.inf
+    best = inf
+    meeting = -1
+    ff = forward._frontier
+    fb = backward._frontier
+    settled_f = forward._settled
+    settled_b = backward._settled
+    gen_f = forward._gen
+    gen_b = backward._gen
+    dist_f = forward._dist
+    dist_b = backward._dist
+    pred_f = forward._pred
+    pred_b = backward._pred
+    order_f = forward.settled_order
+    order_b = backward.settled_order
+    csr = forward.csr
+    indptr = csr.indptr_list
+    tarr = csr.targets_list
+    warr = csr.weights_list
+    aarr_f = forward._allowed_arr
+    agen_f = forward._allowed_gen
+    aarr_b = backward._allowed_arr
+    agen_b = backward._allowed_gen
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    ff_before = len(ff)
+    fb_before = len(fb)
+    stale_f = stale_b = relaxed_f = relaxed_b = 0
+    pruned_f = pruned_b = 0
+    try:
+        while True:
+            while ff and settled_f[ff[0][1]] == gen_f:
+                heappop(ff)  # stale entry
+                stale_f += 1
+            key_f = ff[0][0] if ff else None
+            while fb and settled_b[fb[0][1]] == gen_b:
+                heappop(fb)  # stale entry
+                stale_b += 1
+            key_b = fb[0][0] if fb else None
+            if key_f is None and key_b is None:
+                break
+            if (key_f is not None and key_b is not None
+                    and key_f + key_b >= best):
+                break
+            if key_b is None or (key_f is not None and key_f <= key_b):
+                d, x = heappop(ff)
+                settled_f[x] = gen_f
+                order_f.append(x)
+                start = indptr[x]
+                end = indptr[x + 1]
+                relaxed_f += end - start
+                if aarr_f is None:
+                    for k in range(start, end):
+                        candidate = d + warr[k]
+                        w = tarr[k]
+                        if candidate < dist_f[w]:
+                            dist_f[w] = candidate
+                            pred_f[w] = x
+                            heappush(ff, (candidate, w))
+                else:
+                    for k in range(start, end):
+                        w = tarr[k]
+                        if settled_f[w] == gen_f:
+                            continue
+                        if aarr_f[w] != agen_f:
+                            pruned_f += 1
+                            continue
+                        candidate = d + warr[k]
+                        if candidate < dist_f[w]:
+                            dist_f[w] = candidate
+                            pred_f[w] = x
+                            heappush(ff, (candidate, w))
+                # The backward label may still be tentative, but a
+                # tentative label is a valid path length, so the sum is
+                # a valid (possibly non-tight) meeting candidate.
+                other = dist_b[x]
+                if other != inf and d + other < best:
+                    best = d + other
+                    meeting = x
+            else:
+                d, x = heappop(fb)
+                settled_b[x] = gen_b
+                order_b.append(x)
+                start = indptr[x]
+                end = indptr[x + 1]
+                relaxed_b += end - start
+                if aarr_b is None:
+                    for k in range(start, end):
+                        candidate = d + warr[k]
+                        w = tarr[k]
+                        if candidate < dist_b[w]:
+                            dist_b[w] = candidate
+                            pred_b[w] = x
+                            heappush(fb, (candidate, w))
+                else:
+                    for k in range(start, end):
+                        w = tarr[k]
+                        if settled_b[w] == gen_b:
+                            continue
+                        if aarr_b[w] != agen_b:
+                            pruned_b += 1
+                            continue
+                        candidate = d + warr[k]
+                        if candidate < dist_b[w]:
+                            dist_b[w] = candidate
+                            pred_b[w] = x
+                            heappush(fb, (candidate, w))
+                other = dist_f[x]
+                if other != inf and d + other < best:
+                    best = d + other
+                    meeting = x
+        count_f = len(order_f)
+        count_b = len(order_b)
+        pops_f = count_f + stale_f
+        pops_b = count_b + stale_b
+        forward._flush(pops_f, stale_f, relaxed_f,
+                       pops_f + len(ff) - ff_before, pruned_f, count_f)
+        backward._flush(pops_b, stale_b, relaxed_b,
+                        pops_b + len(fb) - fb_before, pruned_b, count_b)
+        if meeting < 0:
+            raise ValueError(f"no path from {source} to {target}")
+        head = reconstruct_path(forward.pred, source, meeting)
+        tail = reconstruct_path(backward.pred, target, meeting)
+        tail.reverse()
+        return best, head + tail[1:]
+    finally:
+        forward.release()
+        backward.release()
 
 
 def flat_astar(network: RoadNetwork, source: int, target: int,

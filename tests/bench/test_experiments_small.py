@@ -88,3 +88,35 @@ class TestAblations:
                                         border_count=5)
         assert len(rows) == 4
         assert all(r.region_count > 1 for r in rows)
+
+
+class TestBridges:
+    def test_engines_agree_and_measure(self):
+        from repro.bench.experiments.bridges import run_bridges, speedup
+        # run_bridges raises AssertionError itself if the engines'
+        # operation counts diverge -- completing IS the equivalence check.
+        measures = run_bridges("COL-S", epsilon=0.25, repeats=1)
+        assert {m.engine for m in measures} == {"dict", "flat"}
+        assert all(m.bridges > 0 and m.seconds > 0 for m in measures)
+        assert measures[0].bridges == measures[1].bridges
+        assert speedup(measures) > 0
+
+
+class TestThroughput:
+    def test_batch_answers_stable_across_jobs(self):
+        from repro.bench.experiments.throughput import run_throughput
+        # run_throughput raises AssertionError when any worker count
+        # changes an answer -- the byte-identity contract under test.
+        measures = run_throughput("COL-S", query_count=2, repeats=1)
+        assert [m.jobs for m in measures] == [1, 2]
+        assert all(m.queries == 2 and m.queries_per_second > 0
+                   for m in measures)
+
+
+class TestSec7cBidi:
+    def test_bidi_column_present(self):
+        rows = run_sec7c("COL-S", epsilons=[0.2], pair_count=5)
+        row = rows[0]
+        assert set(row.bidi_seconds) == {"network", "roadpart-dps",
+                                         "hull-dps"}
+        assert all(v > 0 for v in row.bidi_seconds.values())

@@ -11,7 +11,13 @@ class TestArguments:
 
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig10", "table2", "fig11",
-                                    "sec7c", "ablations", "sssp"}
+                                    "sec7c", "ablations", "sssp",
+                                    "bridges", "throughput"}
+
+    def test_checked_experiments_exist(self):
+        from repro.bench.__main__ import CHECKED_EXPERIMENTS
+        assert set(CHECKED_EXPERIMENTS) == {"sssp", "bridges"}
+        assert set(CHECKED_EXPERIMENTS) <= set(EXPERIMENTS)
 
     def test_registry_callables(self):
         for fn in EXPERIMENTS.values():

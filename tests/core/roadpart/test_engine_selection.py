@@ -1,0 +1,102 @@
+"""Regression tests for engine threading and arena recycling.
+
+``RoadPartQueryProcessor(engine=...)`` promises that the selected
+kernel reaches *every* sweep a query performs -- the Corollary 3 BL-E
+ball and each bridge's dual-heap domain computation.  The first class
+pins that by counting :class:`DijkstraSearch` constructions; a flat
+query must construct none (a regression here means some sweep silently
+fell back to the dict engine and the sssp/bridges speedups no longer
+apply to queries).
+
+The second class pins the arena-recycling contract: a flat query must
+release every arena it acquires (PR 3 fixed ``_handle_bridges`` leaking
+two arenas per examined bridge).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.roadpart.query import RoadPartQueryProcessor
+from repro.shortestpath.arena import ArenaPool
+from repro.shortestpath.dijkstra import DijkstraSearch
+
+
+@pytest.fixture()
+def dict_search_log(monkeypatch):
+    """Count every DijkstraSearch the code under test constructs."""
+    constructed = []
+    original = DijkstraSearch.__init__
+
+    def recording(self, *args, **kwargs):
+        constructed.append(self)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(DijkstraSearch, "__init__", recording)
+    return constructed
+
+
+class TestEngineReachesEverySweep:
+
+    def test_flat_query_constructs_no_dict_searches(
+            self, medium_index, medium_query, dict_search_log):
+        processor = RoadPartQueryProcessor(medium_index, engine="flat")
+        result = processor.query(medium_query)
+        # The query genuinely exercised the bridge machinery...
+        assert result.stats["b"] > 0
+        # ...yet never fell back to the dict engine.
+        assert dict_search_log == []
+
+    def test_dict_query_constructs_dict_searches(
+            self, medium_index, medium_query, dict_search_log):
+        processor = RoadPartQueryProcessor(medium_index, engine="dict")
+        result = processor.query(medium_query)
+        assert result.stats["b"] > 0
+        # BL-E ball + two searches per examined bridge, at least.
+        assert len(dict_search_log) > result.stats["b"]
+
+    def test_engines_answer_identically(self, medium_index, medium_query):
+        flat = RoadPartQueryProcessor(medium_index, engine="flat")
+        ref = RoadPartQueryProcessor(medium_index, engine="dict")
+        assert (flat.query(medium_query).vertices
+                == ref.query(medium_query).vertices)
+
+
+class TestArenaRecycling:
+
+    @pytest.fixture()
+    def pool_log(self, monkeypatch):
+        counts = {"acquired": 0, "released": 0}
+        original_acquire = ArenaPool.acquire
+        original_release = ArenaPool.release
+
+        def acquire(self):
+            counts["acquired"] += 1
+            return original_acquire(self)
+
+        def release(self, arena):
+            counts["released"] += 1
+            return original_release(self, arena)
+
+        monkeypatch.setattr(ArenaPool, "acquire", acquire)
+        monkeypatch.setattr(ArenaPool, "release", release)
+        return counts
+
+    def test_flat_query_releases_every_arena(self, medium_index,
+                                             medium_query, pool_log):
+        processor = RoadPartQueryProcessor(medium_index, engine="flat")
+        result = processor.query(medium_query)
+        # BL-E ball + 2 arenas per examined bridge were all recycled.
+        assert pool_log["acquired"] >= 1 + 2 * result.stats["b"]
+        assert pool_log["acquired"] == pool_log["released"]
+
+    def test_repeat_queries_reuse_the_pool(self, medium_index,
+                                           medium_query):
+        processor = RoadPartQueryProcessor(medium_index, engine="flat")
+        processor.query(medium_query)
+        pool = medium_index.network.csr()._pool
+        idle_after_first = pool.free_count
+        processor.query(medium_query)
+        # The second query drew from the recycled arenas instead of
+        # allocating: the pool never grows past its first-query size.
+        assert pool.free_count <= max(idle_after_first, pool._max_free)

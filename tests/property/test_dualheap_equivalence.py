@@ -1,0 +1,165 @@
+"""Property tests pinning the fused dual-heap loops to the dict engine.
+
+The fused kernels (:func:`repro.shortestpath.flat.flat_bridge_domains`
+and :func:`repro.shortestpath.flat.flat_bidirectional_ppsp`) advance
+two searches inside one loop; their contract is operation equivalence
+with the dict loops in :mod:`repro.shortestpath.bidirectional` -- the
+same alternation ties, per-side stale drains, settle orders, distances,
+paths and :class:`SearchCounters` totals.  These tests exercise that on
+random connected networks, including the disconnected no-path and
+``allowed``-restricted PPSP cases.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.network import RoadNetwork
+from repro.obs.counters import SearchCounters
+from repro.shortestpath.bidirectional import bidirectional_ppsp, bridge_domains
+from repro.shortestpath.paths import reconstruct_path
+
+from tests.property.test_dijkstra_property import connected_networks
+
+
+def _assert_search_equivalent(flat, ref):
+    assert flat.settled_order == ref.settled_order
+    assert set(flat.dist) == set(ref.dist)
+    for x in ref.dist:
+        assert math.isclose(flat.dist[x], ref.dist[x], rel_tol=1e-12,
+                            abs_tol=1e-12)
+    for x in ref.dist:
+        assert (reconstruct_path(flat.pred, flat.source, x)
+                == reconstruct_path(ref.pred, ref.source, x))
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.lists(st.integers(0, 10_000), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_bridge_domains_equivalence(network, e_raw, t_raw):
+    edges = list(network.edges())
+    edge = edges[e_raw % len(edges)]
+    targets = sorted({t % network.num_vertices for t in t_raw})
+    cf, cd = SearchCounters(), SearchCounters()
+    flat = bridge_domains(network, edge.u, edge.v, targets, counters=cf,
+                          engine="flat")
+    ref = bridge_domains(network, edge.u, edge.v, targets, counters=cd,
+                         engine="dict")
+    assert flat.ud_star == ref.ud_star
+    assert flat.vd_star == ref.vd_star
+    _assert_search_equivalent(flat.search_u, ref.search_u)
+    _assert_search_equivalent(flat.search_v, ref.search_v)
+    assert cf.as_dict() == cd.as_dict()
+    flat.release()
+    ref.release()
+    # The recycled arenas must come back with the all-inf invariant
+    # intact: a fresh search re-settling the bridge sees clean state.
+    again = bridge_domains(network, edge.u, edge.v, targets, engine="flat")
+    assert again.ud_star == ref.ud_star
+    assert again.vd_star == ref.vd_star
+    again.release()
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_bidirectional_ppsp_equivalence(network, s_raw, t_raw):
+    s = s_raw % network.num_vertices
+    t = t_raw % network.num_vertices
+    cf, cd = SearchCounters(), SearchCounters()
+    flat_dist, flat_path = bidirectional_ppsp(network, s, t, counters=cf,
+                                              engine="flat")
+    ref_dist, ref_path = bidirectional_ppsp(network, s, t, counters=cd,
+                                            engine="dict")
+    assert flat_path == ref_path
+    assert math.isclose(flat_dist, ref_dist, rel_tol=1e-12, abs_tol=1e-12)
+    assert cf.as_dict() == cd.as_dict()
+
+
+@given(connected_networks(), st.integers(0, 10_000),
+       st.integers(0, 10_000), st.sets(st.integers(0, 10_000), max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_bidirectional_ppsp_allowed_equivalence(network, s_raw, t_raw,
+                                                blocked_raw):
+    """Restricting ``allowed`` can sever s from t: both engines must
+    agree on the answer *or* on the no-path ValueError -- and on the
+    counters either way."""
+    s = s_raw % network.num_vertices
+    t = t_raw % network.num_vertices
+    blocked = {b % network.num_vertices for b in blocked_raw} - {s, t}
+    allowed = set(network.vertices()) - blocked
+    cf, cd = SearchCounters(), SearchCounters()
+    flat_err = ref_err = None
+    flat_answer = ref_answer = None
+    try:
+        flat_answer = bidirectional_ppsp(network, s, t, allowed=allowed,
+                                         counters=cf, engine="flat")
+    except ValueError as exc:
+        flat_err = str(exc)
+    try:
+        ref_answer = bidirectional_ppsp(network, s, t, allowed=allowed,
+                                        counters=cd, engine="dict")
+    except ValueError as exc:
+        ref_err = str(exc)
+    assert flat_err == ref_err
+    if ref_answer is not None:
+        assert flat_answer[1] == ref_answer[1]
+        assert math.isclose(flat_answer[0], ref_answer[0], rel_tol=1e-12,
+                            abs_tol=1e-12)
+    assert cf.as_dict() == cd.as_dict()
+
+
+class TestDeterministicCases:
+    """Fixed-shape cases the random strategies may not hit every run."""
+
+    @pytest.fixture()
+    def split_network(self):
+        """Two 2-vertex components: 0-1 and 2-3."""
+        coords = [(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (11.0, 0.0)]
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        return RoadNetwork(coords, edges)
+
+    @pytest.mark.parametrize("engine", ["flat", "dict"])
+    def test_disconnected_no_path_raises(self, split_network, engine):
+        with pytest.raises(ValueError, match="no path"):
+            bidirectional_ppsp(split_network, 0, 3, engine=engine)
+
+    def test_disconnected_counters_match(self, split_network):
+        cf, cd = SearchCounters(), SearchCounters()
+        with pytest.raises(ValueError):
+            bidirectional_ppsp(split_network, 0, 3, counters=cf,
+                               engine="flat")
+        with pytest.raises(ValueError):
+            bidirectional_ppsp(split_network, 0, 3, counters=cd,
+                               engine="dict")
+        assert cf.as_dict() == cd.as_dict()
+
+    @pytest.mark.parametrize("engine", ["flat", "dict"])
+    def test_source_equals_target(self, split_network, engine):
+        assert bidirectional_ppsp(split_network, 2, 2,
+                                  engine=engine) == (0.0, [2])
+
+    @pytest.mark.parametrize("engine", ["flat", "dict"])
+    def test_source_outside_allowed_raises(self, split_network, engine):
+        with pytest.raises(ValueError, match="allowed"):
+            bidirectional_ppsp(split_network, 0, 1, allowed={1},
+                               engine=engine)
+
+    def test_bridge_domains_unreachable_targets_stay_out(self,
+                                                         split_network):
+        for engine in ("flat", "dict"):
+            domains = bridge_domains(split_network, 0, 1, [1, 2, 3],
+                                     engine=engine)
+            # 2 and 3 are unreachable from the bridge's component: they
+            # join neither domain; 1 sits at v's end of the bridge.
+            assert 2 not in domains.ud_star | domains.vd_star
+            assert 3 not in domains.ud_star | domains.vd_star
+            domains.release()
+
+    def test_unknown_engine_rejected(self, split_network):
+        with pytest.raises(ValueError, match="unknown engine"):
+            bridge_domains(split_network, 0, 1, [1], engine="numpy")
+        with pytest.raises(ValueError, match="unknown engine"):
+            bidirectional_ppsp(split_network, 0, 1, engine="numpy")

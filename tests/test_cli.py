@@ -193,3 +193,84 @@ class TestContourOptions:
         assert code == 0
         assert "contour=hull" in capsys.readouterr().out
         assert out.exists()
+
+
+class TestBatchQuery:
+    @pytest.fixture()
+    def built_index(self, generated_map, tmp_path):
+        out = tmp_path / "map.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "6", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_batch_runs_and_reports(self, generated_map, built_index,
+                                    capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart", "--epsilon", "0.25",
+                     "--seed", "5", "--batch", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0] RoadPart" in out and "[2] RoadPart" in out
+        assert "batch: 3 queries" in out
+        assert "jobs=1" in out
+
+    def test_jobs_flag_answers_identically(self, generated_map,
+                                           built_index, capsys):
+        argv = ["query", "--graph", f"{generated_map}.gr",
+                "--coords", f"{generated_map}.co",
+                "--index", str(built_index),
+                "--algorithm", "roadpart", "--epsilon", "0.25",
+                "--seed", "5", "--batch", "3"]
+        assert main(argv) == 0
+        serial = [line for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("[")]
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        parallel = [line for line in parallel_out.splitlines()
+                    if line.startswith("[")]
+        # Per-query sizes are byte-identical; only wall-clock differs.
+        assert [l.split(" in ")[0] for l in parallel] \
+            == [l.split(" in ")[0] for l in serial]
+        assert "jobs=2" in parallel_out or "jobs=1" in parallel_out
+
+    def test_batch_stats_json_merges(self, generated_map, built_index,
+                                     capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart", "--epsilon", "0.25",
+                     "--seed", "5", "--batch", "2", "--stats-json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "RoadPart"
+        assert payload["counters"]["heap_pops"] > 0
+
+    def test_batch_rejects_single_query_flags(self, generated_map,
+                                              built_index, capsys):
+        base = ["query", "--graph", f"{generated_map}.gr",
+                "--coords", f"{generated_map}.co",
+                "--index", str(built_index), "--algorithm", "roadpart",
+                "--batch", "2"]
+        assert main(base + ["--vertices", "0,1"]) == 2
+        assert "--vertices" in capsys.readouterr().err
+        assert main(base + ["--verify"]) == 2
+        assert "--refine/--verify/--out" in capsys.readouterr().err
+
+    def test_batch_roadpart_requires_index(self, generated_map, capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--algorithm", "roadpart", "--batch", "2"])
+        assert code == 2
+        assert "--index" in capsys.readouterr().err
+
+    def test_batch_blq_needs_no_index(self, generated_map, capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--algorithm", "blq", "--epsilon", "0.25",
+                     "--batch", "2", "--jobs", "2"])
+        assert code == 0
+        assert "batch: 2 queries" in capsys.readouterr().out

@@ -56,6 +56,17 @@ class TestObservabilityDoc:
         assert "--stats-json" in observability_doc
         assert BENCH_SCHEMA in observability_doc
 
+    def test_documents_engine_selection_and_batching(self,
+                                                     observability_doc):
+        """PR 3 surfaces: the fused kernels, the perf gates and the
+        batched-query driver must stay documented."""
+        for needle in ("flat_bridge_domains", "flat_bidirectional_ppsp",
+                       "bench bridges", "bench throughput",
+                       "repro.serve", "run_queries", "--jobs", "--batch",
+                       "merge_query_stats"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
+
     def test_phase_labels_match_source(self):
         """The grep targets above must themselves track the code."""
         sources = {
@@ -81,5 +92,13 @@ class TestReadmeLinks:
     def test_architecture_doc_names_all_subsystems(self):
         doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
         for package in ("repro.graph", "repro.shortestpath", "repro.core",
-                        "repro.obs", "repro.bench", "repro.datasets"):
+                        "repro.obs", "repro.bench", "repro.datasets",
+                        "repro.serve"):
             assert package in doc
+
+    def test_architecture_doc_names_dualheap_kernels(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("flat_bridge_domains", "flat_bidirectional_ppsp",
+                       "run_queries"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
