@@ -6,7 +6,9 @@ printing them as it goes.  Takes a minute or two; pass experiment names
 to run a subset, e.g. ``python -m repro.bench table1 fig11``.
 
 ``--small`` shrinks the workloads (one dataset, two sweep points) for a
-CI smoke run.  ``table2`` and ``fig10`` additionally write the
+CI smoke run.  ``--inject`` (``throughput`` only) adds a deterministic
+fault-injection pass asserting the serve driver's blast-radius
+contract.  ``table2`` and ``fig10`` additionally write the
 machine-readable baselines ``BENCH_table2.json`` / ``BENCH_fig10.json``
 (schema ``repro-bench-v1``) to the repository root -- see
 docs/observability.md.
@@ -182,10 +184,10 @@ def _run_bridges(small: bool = False, check: bool = False) -> bool:
     return True
 
 
-def _run_throughput(small: bool = False) -> None:
+def _run_throughput(small: bool = False, inject: bool = False) -> None:
     from repro.bench.experiments.throughput import run_throughput
     measures = run_throughput(query_count=4 if small else 8,
-                              repeats=1 if small else 3)
+                              repeats=1 if small else 3, inject=inject)
     _emit("throughput", render_table(
         f"Batched-query throughput -- {measures[0].algorithm} on"
         f" {measures[0].dataset} (answers identical across jobs;"
@@ -193,6 +195,9 @@ def _run_throughput(small: bool = False) -> None:
         ["jobs", "queries", "median batch (s)", "queries/s"],
         [[m.jobs, m.queries, round(m.seconds, 4),
           round(m.queries_per_second, 2)] for m in measures]))
+    if inject:
+        print("fault injection: ok -- poisoned query failed"
+              " structurally, all other answers byte-identical")
 
 
 def _run_ablations(small: bool = False) -> None:
@@ -241,7 +246,9 @@ CHECKED_EXPERIMENTS = ("sssp", "bridges")
 def main(argv: List[str]) -> int:
     small = "--small" in argv
     check = "--check" in argv
-    names = [a for a in argv if a not in ("--small", "--check")]
+    inject = "--inject" in argv
+    names = [a for a in argv if a not in ("--small", "--check",
+                                          "--inject")]
     names = names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -253,6 +260,8 @@ def main(argv: List[str]) -> int:
         if name in CHECKED_EXPERIMENTS:
             if EXPERIMENTS[name](small=small, check=check) is False:
                 status = 1
+        elif name == "throughput":
+            EXPERIMENTS[name](small=small, inject=inject)
         else:
             EXPERIMENTS[name](small=small)
     return status

@@ -13,6 +13,13 @@ Two caveats keep this honest:
 - on a single-core container the ``jobs=2`` row shows fork overhead,
   not speedup, so no ``--check`` gate exists here; the row documents
   the scaling axis, the gains need real cores.
+
+``inject=True`` (the CLI's ``bench throughput --inject``) additionally
+pushes the same batch through a deterministic
+:class:`~repro.serve.faults.FaultPlan` -- one worker crash, one
+injected per-query exception -- and asserts the driver's blast-radius
+contract: the poisoned query fails structurally, every other answer
+stays byte-identical to the clean baseline.
 """
 
 from __future__ import annotations
@@ -55,12 +62,15 @@ def run_throughput(dataset: str = THROUGHPUT_DATASET,
                    jobs_list: Optional[Sequence[int]] = None,
                    query_count: int = THROUGHPUT_QUERY_COUNT,
                    repeats: int = THROUGHPUT_REPEATS,
+                   inject: bool = False,
                    ) -> List[ThroughputMeasure]:
     """Time one query batch at each worker count.
 
     The batch cycles the dataset's Table II ε sweep (content-derived
     seeds, offset per query so every window differs); every worker
     count answers the same batch and must return the same answers.
+    ``inject=True`` runs one extra (untimed) faulted batch and asserts
+    the blast-radius contract against the clean baseline.
     """
     network = dataset_network(dataset)
     index = dataset_index(dataset) if algorithm == "roadpart" else None
@@ -90,4 +100,36 @@ def run_throughput(dataset: str = THROUGHPUT_DATASET,
         measures.append(ThroughputMeasure(dataset, algorithm, jobs,
                                           len(queries), median(samples),
                                           samples))
+    if inject:
+        _assert_fault_isolation(algorithm, queries, network, index,
+                                max(jobs_list or THROUGHPUT_JOBS),
+                                baseline)
     return measures
+
+
+def _assert_fault_isolation(algorithm, queries, network, index, jobs,
+                            baseline) -> None:
+    """Run the batch with one worker crash and one injected exception;
+    assert only the poisoned query fails and the rest match
+    ``baseline`` exactly."""
+    from repro.serve import QueryFailure
+    from repro.serve.faults import FaultPlan
+    plan = FaultPlan(die_at={0},
+                     raise_at={1: "injected by throughput --inject"})
+    outcome = run_queries(algorithm, queries, network=network,
+                          index=index, jobs=jobs, faults=plan)
+    if len(outcome.results) != len(queries):
+        raise AssertionError(
+            f"faulted batch returned {len(outcome.results)} entries for"
+            f" {len(queries)} queries")
+    failed = [i for i, r in enumerate(outcome.results)
+              if isinstance(r, QueryFailure)]
+    if failed != [1]:
+        raise AssertionError(
+            f"expected exactly query 1 to fail, got {failed}")
+    for i, r in enumerate(outcome.results):
+        if i == 1:
+            continue
+        if r.vertices != baseline[i]:
+            raise AssertionError(
+                f"fault injection changed the answer to query {i}")

@@ -26,7 +26,11 @@ stderr) -- see docs/observability.md.
 :mod:`repro.serve` batched-query driver, fanning them over ``M``
 fork-based workers; answers are byte-identical to the serial loop, the
 summary line reports queries/sec, and ``--stats`` prints the merged
-batch-level stats.
+batch-level stats.  ``--deadline-ms B`` (which also routes through the
+driver) gives every query a wall-clock budget with graceful degradation
+down the ``--fallback`` cascade; failed queries print as ``FAILED``
+lines and flip the exit status to 1, and ``--max-retries`` bounds
+worker-crash chunk retries.
 """
 
 from __future__ import annotations
@@ -141,22 +145,26 @@ def _parse_query(args, network: RoadNetwork) -> DPSQuery:
 
 
 def _cmd_query_batch(args, network: RoadNetwork) -> int:
-    """The ``--batch``/``--jobs`` path: answer N window queries through
-    the :mod:`repro.serve` driver (optionally over fork workers)."""
-    from repro.serve import run_queries
+    """The ``--batch``/``--jobs``/``--deadline-ms`` path: answer N
+    window queries through the :mod:`repro.serve` driver (optionally
+    over fork workers, with per-query budgets and fallback)."""
+    from repro.serve import QueryFailure, run_queries
     chat = sys.stderr if args.stats_json else sys.stdout
-    if args.vertices:
+    count = max(args.batch, 1)
+    if args.vertices and count > 1:
         print("error: --vertices answers one explicit query; drop"
               " --batch/--jobs", file=sys.stderr)
         return 2
     if args.refine or args.verify or args.out:
         print("error: --refine/--verify/--out answer one query; drop"
-              " --batch/--jobs", file=sys.stderr)
+              " --batch/--jobs/--deadline-ms", file=sys.stderr)
         return 2
-    count = max(args.batch, 1)
-    queries = [DPSQuery.q_query(window_query(network, args.epsilon,
-                                             seed=args.seed + i))
-               for i in range(count)]
+    if args.vertices:
+        queries = [_parse_query(args, network)]
+    else:
+        queries = [DPSQuery.q_query(window_query(network, args.epsilon,
+                                                 seed=args.seed + i))
+                   for i in range(count)]
     index = None
     if args.algorithm == "roadpart":
         if not args.index:
@@ -165,25 +173,44 @@ def _cmd_query_batch(args, network: RoadNetwork) -> int:
             return 2
         index = RoadPartIndex.load(args.index, network)
     want_stats = args.stats or args.stats_json
+    fallback = None
+    if args.fallback is not None:
+        fallback = tuple(n for n in args.fallback.split(",") if n) \
+            if args.fallback else ()
     outcome = run_queries(args.algorithm, queries, network=network,
                           index=index, jobs=args.jobs, engine=args.engine,
-                          collect_stats=want_stats)
+                          collect_stats=want_stats,
+                          deadline_ms=args.deadline_ms, fallback=fallback,
+                          max_retries=args.max_retries)
     for i, result in enumerate(outcome.results):
+        if isinstance(result, QueryFailure):
+            print(f"[{i}] FAILED ({result.error_type}): {result.message}"
+                  f" after {result.elapsed:.3f}s ({result.algorithm})",
+                  file=chat)
+            continue
+        via = outcome.fallbacks[i]
+        suffix = f" (fallback: {via})" if via else ""
         print(f"[{i}] {result.algorithm}: DPS of {result.size} vertices"
-              f" in {result.seconds:.3f}s", file=chat)
+              f" in {result.seconds:.3f}s{suffix}", file=chat)
     print(f"batch: {len(queries)} queries in {outcome.seconds:.3f}s"
           f" ({outcome.queries_per_second:.1f} q/s,"
-          f" jobs={outcome.jobs})", file=chat)
+          f" jobs={outcome.jobs} effective={outcome.effective_jobs})",
+          file=chat)
+    fellback = sum(1 for f in outcome.fallbacks if f)
+    if outcome.failures or fellback or outcome.retries:
+        print(f"batch health: {outcome.ok_count} ok,"
+              f" {len(outcome.failures)} failed, {fellback} fell back,"
+              f" {outcome.retries} chunk retries", file=chat)
     if args.stats_json:
         print(json.dumps(outcome.stats.to_dict(), indent=2))
     elif args.stats:
         print(outcome.stats.render())
-    return 0
+    return 0 if not outcome.failures else 1
 
 
 def _cmd_query(args) -> int:
     network = _load_network(args)
-    if args.batch > 1 or args.jobs > 1:
+    if args.batch > 1 or args.jobs > 1 or args.deadline_ms is not None:
         return _cmd_query_batch(args, network)
     query = _parse_query(args, network)
     # With --stats-json, stdout carries only the JSON document (pipe it
@@ -312,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --batch (fork-based;"
                             " answers are byte-identical to --jobs 1)")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query wall-clock budget in ms; a blown"
+                            " budget degrades down the fallback cascade"
+                            " (routes through the batch driver)")
+    query.add_argument("--fallback", default=None,
+                       help="comma-separated fallback algorithms for"
+                            " --deadline-ms (default: ble; empty string"
+                            " disables fallback)")
+    query.add_argument("--max-retries", type=int, default=2,
+                       help="worker-crash chunk retries per batch")
     query.add_argument("--stats", action="store_true",
                        help="print phase timings and search counters")
     query.add_argument("--stats-json", action="store_true",

@@ -22,6 +22,7 @@ from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import SearchCounters
 from repro.obs.stats import QueryStats, resolve_stats
+from repro.shortestpath.deadline import Deadline
 from repro.shortestpath.flat import make_search, release_search
 from repro.spatial.rect import Rect
 
@@ -48,7 +49,8 @@ class BLEOutcome:
 def run_ble_search(network: RoadNetwork, query: DPSQuery,
                    counters: Optional[SearchCounters] = None,
                    stats: Optional[QueryStats] = None,
-                   engine: str = "flat") -> BLEOutcome:
+                   engine: str = "flat",
+                   deadline: Optional[Deadline] = None) -> BLEOutcome:
     """Run the BL-E search machinery and return its raw outcome.
 
     Split from :func:`bl_efficiency` because RoadPart's query processor
@@ -57,6 +59,9 @@ def run_ble_search(network: RoadNetwork, query: DPSQuery,
     Dijkstra (one counter set across both stages -- the ``r`` phase and
     the ``2r`` continuation accumulate, never reset); ``stats`` adds the
     ``center`` / ``settle-query`` / ``extend-2r`` phase breakdown.
+    ``deadline`` (optional) bounds the search's wall clock; on expiry
+    the scratch arena is recycled and
+    :class:`~repro.errors.DeadlineExceeded` propagates.
     """
     stats = resolve_stats(stats)
     if counters is None:
@@ -67,34 +72,41 @@ def run_ble_search(network: RoadNetwork, query: DPSQuery,
         mbr = Rect.from_points(network.coord(v) for v in q)
         center_vertex = network.vertex_rtree().nearest_one(mbr.center())
     search = make_search(network, int(center_vertex), counters=counters,
-                         engine=engine)
-    with stats.phase("settle-query"):
-        settled_all = search.run_until_settled(q)
-    if not settled_all:
-        unreached = [v for v in q if v not in search.dist]
+                         engine=engine, deadline=deadline)
+    try:
+        with stats.phase("settle-query"):
+            settled_all = search.run_until_settled(q)
+        if not settled_all:
+            unreached = [v for v in q if v not in search.dist]
+            raise ValueError(
+                f"network is not connected: {len(unreached)} query vertices"
+                f" unreachable from the centre vertex {center_vertex}")
+        radius = max(search.dist[v] for v in q)
+        with stats.phase("extend-2r"):
+            search.run_until_beyond(2.0 * radius)
+    except BaseException:
         release_search(search)  # failed search holds no useful views
-        raise ValueError(
-            f"network is not connected: {len(unreached)} query vertices"
-            f" unreachable from the centre vertex {center_vertex}")
-    radius = max(search.dist[v] for v in q)
-    with stats.phase("extend-2r"):
-        search.run_until_beyond(2.0 * radius)
+        raise
     return BLEOutcome(int(center_vertex), radius, search)
 
 
 def bl_efficiency(network: RoadNetwork, query: DPSQuery,
                   stats: Optional[QueryStats] = None,
-                  engine: str = "flat") -> DPSResult:
+                  engine: str = "flat",
+                  deadline: Optional[Deadline] = None) -> DPSResult:
     """Return the radius-``2r`` DPS of Section III-B.
 
     Every vertex settled by the staged search has ``dist(vc, ·) ≤ 2r``
     (phase one settles at most ``r``, phase two stops at ``2r``), so the
     settled set *is* the DPS.  ``stats`` (optional) collects the phase
-    timings and engine counters -- see :mod:`repro.obs`.
+    timings and engine counters -- see :mod:`repro.obs`; ``deadline``
+    (optional) bounds the query's wall clock (see
+    :mod:`repro.shortestpath.deadline`).
     """
     stats = resolve_stats(stats)
     started = time.perf_counter()
-    outcome = run_ble_search(network, query, stats=stats, engine=engine)
+    outcome = run_ble_search(network, query, stats=stats, engine=engine,
+                             deadline=deadline)
     vertices = frozenset(outcome.search.dist)
     release_search(outcome.search)  # the frozenset is a copy; recycle
     elapsed = time.perf_counter() - started

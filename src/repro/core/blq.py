@@ -17,13 +17,15 @@ from typing import Optional
 from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.stats import QueryStats, resolve_stats
+from repro.shortestpath.deadline import Deadline
 from repro.shortestpath.flat import make_search, release_search
 from repro.shortestpath.paths import collect_path_vertices
 
 
 def bl_quality(network: RoadNetwork, query: DPSQuery,
                stats: Optional[QueryStats] = None,
-               engine: str = "flat") -> DPSResult:
+               engine: str = "flat",
+               deadline: Optional[Deadline] = None) -> DPSResult:
     """Return the smallest DPS for ``query``.
 
     Ties between equal-length shortest paths resolve to the path Dijkstra
@@ -34,7 +36,10 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
     ``stats`` (optional) collects per-phase timings (``sssp``,
     ``collect``) and engine counters; ``engine`` selects the SSSP kernel
     (both give identical results and counts) -- see :mod:`repro.obs` and
-    :mod:`repro.shortestpath.flat`.
+    :mod:`repro.shortestpath.flat`.  ``deadline`` (optional) bounds the
+    query's wall clock across *all* its SSSP rounds (one shared budget);
+    on expiry the round's arena is recycled and
+    :class:`~repro.errors.DeadlineExceeded` propagates.
     """
     query.validate_against(network)
     stats = resolve_stats(stats)
@@ -45,18 +50,25 @@ def bl_quality(network: RoadNetwork, query: DPSQuery,
     collected: set = set()
     rounds = 0
     for s in sorted(sources):
-        with stats.phase("sssp"):
-            search = make_search(network, s, counters=counters,
-                                 engine=engine)
-            settled_all = search.run_until_settled(target_list)
-        if not settled_all:
-            unreached = [t for t in target_list if t not in search.dist]
-            release_search(search)  # failed search holds no useful views
-            raise ValueError(
-                f"network is not connected: {len(unreached)} targets"
-                f" unreachable from {s} (e.g. {unreached[:3]})")
-        with stats.phase("collect"):
-            collect_path_vertices(search.pred, s, target_list, collected)
+        search = None
+        try:
+            with stats.phase("sssp"):
+                search = make_search(network, s, counters=counters,
+                                     engine=engine, deadline=deadline)
+                settled_all = search.run_until_settled(target_list)
+            if not settled_all:
+                unreached = [t for t in target_list
+                             if t not in search.dist]
+                raise ValueError(
+                    f"network is not connected: {len(unreached)} targets"
+                    f" unreachable from {s} (e.g. {unreached[:3]})")
+            with stats.phase("collect"):
+                collect_path_vertices(search.pred, s, target_list,
+                                      collected)
+        except BaseException:
+            if search is not None:
+                release_search(search)  # failed round holds no views
+            raise
         release_search(search)  # round done; recycle the arena
         rounds += 1
     elapsed = time.perf_counter() - started

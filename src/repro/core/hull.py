@@ -29,6 +29,7 @@ from repro.core.dps import DPSQuery, DPSResult
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import SearchCounters
 from repro.obs.stats import QueryStats, resolve_stats
+from repro.shortestpath.deadline import Deadline
 from repro.shortestpath.flat import make_search, release_search
 from repro.shortestpath.paths import collect_path_vertices
 from repro.spatial.geometry import Point, on_segment, orientation
@@ -135,12 +136,15 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
                      to_border: Set[int], allowed: Optional[Set[int]],
                      into: Set[int],
                      counters: Optional[SearchCounters] = None,
-                     engine: str = "flat") -> int:
+                     engine: str = "flat",
+                     deadline: Optional[Deadline] = None) -> int:
     """Add the vertices of ``sp(b, b')`` for all border pairs to ``into``.
 
     Iterates SSSP over the smaller side.  Returns the number of SSSP
     rounds run (the cost driver the paper compares against RoadPart's
-    ``2b`` domain computations).
+    ``2b`` domain computations).  ``deadline`` (optional) bounds the
+    rounds' shared wall clock; an expired round releases its arena and
+    lets :class:`~repro.errors.DeadlineExceeded` propagate.
     """
     if not from_border or not to_border:
         return 0
@@ -151,14 +155,18 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
     rounds = 0
     for b in sorted(small):
         search = make_search(network, b, allowed=allowed,
-                             counters=counters, engine=engine)
-        if not search.run_until_settled(targets):
-            unreached = [t for t in targets if t not in search.dist]
+                             counters=counters, engine=engine,
+                             deadline=deadline)
+        try:
+            if not search.run_until_settled(targets):
+                unreached = [t for t in targets if t not in search.dist]
+                raise ValueError(
+                    f"input graph disconnects border vertices:"
+                    f" {len(unreached)} unreachable from {b}")
+            collect_path_vertices(search.pred, b, targets, into)
+        except BaseException:
             release_search(search)  # failed search holds no useful views
-            raise ValueError(
-                f"input graph disconnects border vertices: {len(unreached)}"
-                f" unreachable from {b}")
-        collect_path_vertices(search.pred, b, targets, into)
+            raise
         release_search(search)  # round done; recycle the arena
         rounds += 1
     return rounds
@@ -167,7 +175,8 @@ def _connect_borders(network: RoadNetwork, from_border: Set[int],
 def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
                     base: BaseGraph = None,
                     stats: Optional[QueryStats] = None,
-                    engine: str = "flat") -> DPSResult:
+                    engine: str = "flat",
+                    deadline: Optional[Deadline] = None) -> DPSResult:
     """Run the convex hull method (Algorithm 1 or 2, chosen by the query).
 
     ``base`` selects the input graph ``H``: None for the full road
@@ -180,7 +189,10 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
     ``crossing-border``, ``connect-borders``) and engine counters;
     ``engine`` selects the SSSP kernel (identical results and counts
     either way) -- see :mod:`repro.obs` and
-    :mod:`repro.shortestpath.flat`.
+    :mod:`repro.shortestpath.flat`.  ``deadline`` (optional) bounds the
+    border-connection SSSP rounds (the dominant cost; the geometric
+    phases are not deadline-checked) -- see
+    :mod:`repro.shortestpath.deadline`.
     """
     query.validate_against(network)
     stats = resolve_stats(stats)
@@ -203,7 +215,8 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
         collected |= covered
         with stats.phase("connect-borders"):
             rounds = _connect_borders(network, border, border, allowed,
-                                      collected, counters, engine=engine)
+                                      collected, counters, engine=engine,
+                                      deadline=deadline)
         border_stat = len(border)
     else:
         with stats.phase("hull-membership"):
@@ -218,7 +231,8 @@ def convex_hull_dps(network: RoadNetwork, query: DPSQuery,
         collected |= covered_t
         with stats.phase("connect-borders"):
             rounds = _connect_borders(network, border_s, border_t, allowed,
-                                      collected, counters, engine=engine)
+                                      collected, counters, engine=engine,
+                                      deadline=deadline)
         border_stat = min(len(border_s), len(border_t))
     collected |= query.combined  # degenerate hulls can miss isolated points
     elapsed = time.perf_counter() - started

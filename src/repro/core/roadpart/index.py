@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Union
 
+from repro.errors import IndexFormatError
+
 from repro.core.roadpart.border import select_borders
 from repro.core.roadpart.bridges import EdgeKey, find_bridges
 from repro.core.roadpart.contour import Contour, compute_contour
@@ -104,23 +106,53 @@ class RoadPartIndex:
         with open(path, "w", encoding="ascii") as stream:
             json.dump(self.to_dict(), stream)
 
+    #: Every key :meth:`load` needs; validated up front so a truncated
+    #: or hand-edited file fails with the missing names, not a KeyError.
+    REQUIRED_KEYS = ("format", "num_vertices", "border_vertex_ids",
+                     "region_of", "region_vectors", "bridges")
+
     @classmethod
     def load(cls, path: Union[str, os.PathLike],
              network: RoadNetwork) -> "RoadPartIndex":
+        """Load a saved index and bind it to ``network``.
+
+        Raises :class:`~repro.errors.IndexFormatError` (naming the path
+        and what is wrong) for anything that is not a well-formed
+        ``roadpart-index-v1`` file, and a plain :class:`ValueError` when
+        the file is fine but was built for a different network.
+        """
         with open(path, "r", encoding="ascii") as stream:
-            payload = json.load(stream)
-        if payload.get("format") != "roadpart-index-v1":
-            raise ValueError(f"not a RoadPart index file: {path}")
+            try:
+                payload = json.load(stream)
+            except json.JSONDecodeError as exc:
+                raise IndexFormatError(
+                    f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(payload, dict):
+            raise IndexFormatError(
+                f"{path}: expected a JSON object, got"
+                f" {type(payload).__name__}")
+        missing = [k for k in cls.REQUIRED_KEYS if k not in payload]
+        if missing:
+            raise IndexFormatError(
+                f"{path}: missing required keys: {', '.join(missing)}")
+        if payload["format"] != "roadpart-index-v1":
+            raise IndexFormatError(
+                f"{path}: not a RoadPart index file (format"
+                f" {payload['format']!r}, expected 'roadpart-index-v1')")
         if payload["num_vertices"] != network.num_vertices:
             raise ValueError(
                 f"index built for {payload['num_vertices']} vertices,"
                 f" network has {network.num_vertices}")
-        vectors = [tuple((label[0], label[1]) for label in vector)
-                   for vector in payload["region_vectors"]]
-        regions = RegionSet(payload["region_of"], vectors)
-        bridges = frozenset((k[0], k[1]) for k in payload["bridges"])
-        return cls(network, list(payload["border_vertex_ids"]), regions,
-                   bridges)
+        try:
+            vectors = [tuple((label[0], label[1]) for label in vector)
+                       for vector in payload["region_vectors"]]
+            regions = RegionSet(payload["region_of"], vectors)
+            bridges = frozenset((k[0], k[1]) for k in payload["bridges"])
+            return cls(network, list(payload["border_vertex_ids"]),
+                       regions, bridges)
+        except (IndexError, TypeError) as exc:
+            raise IndexFormatError(
+                f"{path}: malformed index payload ({exc})") from exc
 
 
 def build_index(network: RoadNetwork, border_count: int,

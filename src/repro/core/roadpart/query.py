@@ -60,6 +60,7 @@ from repro.core.roadpart.bridges import (
 from repro.core.roadpart.index import RoadPartIndex
 from repro.core.roadpart.window import loose_window, region_in_window, tight_window
 from repro.shortestpath.bidirectional import bridge_domains
+from repro.shortestpath.deadline import Deadline
 from repro.shortestpath.paths import collect_path_vertices
 
 
@@ -113,14 +114,18 @@ class RoadPartQueryProcessor:
     # ------------------------------------------------------------------
 
     def query(self, query: DPSQuery,
-              stats: Optional[QueryStats] = None) -> DPSResult:
+              stats: Optional[QueryStats] = None,
+              deadline: Optional[Deadline] = None) -> DPSResult:
         """Answer a DPS query; returns the DPS with the paper's measures
         (``b`` examined bridges, ``b_v`` valid bridges) in the stats.
 
         ``stats`` (optional) collects the phase breakdown (``window``,
         ``region-prune``, ``bridge-classify``, ``cor3-ble``,
         ``bridge-domains``, ``path-patch``) and engine counters -- see
-        :mod:`repro.obs`.
+        :mod:`repro.obs`.  ``deadline`` (optional) bounds the SSSP work
+        (the Corollary 3 ball and every bridge-domain sweep drain one
+        shared budget); on expiry the in-flight search's arena is
+        recycled and :class:`~repro.errors.DeadlineExceeded` propagates.
         """
         network = self._index.network
         query.validate_against(network)
@@ -144,7 +149,7 @@ class RoadPartQueryProcessor:
 
         # --- bridge handling (Section V) --------------------------------
         examined, valid = self._handle_bridges(query, window, collected,
-                                               stats)
+                                               stats, deadline=deadline)
 
         elapsed = time.perf_counter() - started
         result = DPSResult("RoadPart", query, frozenset(collected),
@@ -170,6 +175,7 @@ class RoadPartQueryProcessor:
 
     def examined_bridges(self, query: DPSQuery,
                          stats: Optional[QueryStats] = None,
+                         deadline: Optional[Deadline] = None,
                          ) -> List[EdgeKey]:
         """Return the bridges this processor would *examine* for
         ``query`` -- classification and pruning only, no domain
@@ -181,10 +187,13 @@ class RoadPartQueryProcessor:
         stats = resolve_stats(stats)
         with stats.phase("window"):
             window, _ = self._window(sorted(query.combined))
-        return self._select_bridges(query, window, stats)
+        return self._select_bridges(query, window, stats,
+                                    deadline=deadline)
 
     def _select_bridges(self, query: DPSQuery, window,
-                        stats: QueryStats) -> List[EdgeKey]:
+                        stats: QueryStats,
+                        deadline: Optional[Deadline] = None,
+                        ) -> List[EdgeKey]:
         """Classify and prune bridges; returns the examined list."""
         network = self._index.network
         bridges = self._index.bridges
@@ -217,7 +226,8 @@ class RoadPartQueryProcessor:
                     # heap/relax work lands in the same counter set but
                     # keeps its own phase so the breakdown stays honest.
                     ble = run_ble_search(network, query, counters=counters,
-                                         engine=self._engine)
+                                         engine=self._engine,
+                                         deadline=deadline)
                     cut_bridges = {
                         key: cls for key, cls in cut_bridges.items()
                         if ble.within_2r(key[0]) and ble.within_2r(key[1])}
@@ -236,10 +246,13 @@ class RoadPartQueryProcessor:
 
     def _handle_bridges(self, query: DPSQuery, window,
                         collected: Set[int],
-                        stats: QueryStats) -> Tuple[int, int]:
+                        stats: QueryStats,
+                        deadline: Optional[Deadline] = None,
+                        ) -> Tuple[int, int]:
         """Prune, examine and patch bridges; returns ``(b, b_v)``."""
         network = self._index.network
-        to_examine = self._select_bridges(query, window, stats)
+        to_examine = self._select_bridges(query, window, stats,
+                                          deadline=deadline)
         q_vertices = sorted(query.combined)
         examined = 0
         valid = 0
@@ -248,7 +261,8 @@ class RoadPartQueryProcessor:
             with stats.phase("bridge-domains"):
                 domains = bridge_domains(network, u, v, q_vertices,
                                          counters=stats.counters,
-                                         engine=self._engine)
+                                         engine=self._engine,
+                                         deadline=deadline)
             if not domains.ud_star or not domains.vd_star:
                 # Theorem 5: this bridge carries no query path.
                 domains.release()
@@ -267,7 +281,8 @@ class RoadPartQueryProcessor:
 
 def roadpart_dps(index: RoadPartIndex, query: DPSQuery,
                  stats: Optional[QueryStats] = None,
+                 deadline: Optional[Deadline] = None,
                  **processor_options) -> DPSResult:
     """One-shot convenience: build a processor and answer one query."""
     processor = RoadPartQueryProcessor(index, **processor_options)
-    return processor.query(query, stats=stats)
+    return processor.query(query, stats=stats, deadline=deadline)

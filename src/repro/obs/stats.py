@@ -150,7 +150,11 @@ class QueryStats:
                      f" / {self.network_size:,}"
                      f" ({self.dps_ratio:.1%} of network)")
         for key in sorted(self.extras):
-            lines.append(f"  {key:<22} {self.extras[key]}")
+            value = self.extras[key]
+            if isinstance(value, float) and not value.is_integer():
+                lines.append(f"  {key:<22} {value:.6g}")
+            else:
+                lines.append(f"  {key:<22} {value}")
         return "\n".join(lines)
 
 

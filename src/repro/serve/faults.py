@@ -1,0 +1,72 @@
+"""Deterministic fault injection for the batched-query driver.
+
+The robustness layer in :mod:`repro.serve` has three failure paths --
+per-query exceptions, blown deadlines and worker crashes -- none of
+which occur naturally on the small deterministic networks the test
+suite uses.  A :class:`FaultPlan` triggers each path on demand, keyed
+by *query index*, so a test (or ``bench throughput --inject``) can
+assert the exact blast radius of a fault: the targeted query fails or
+falls back, every other answer stays byte-identical to a fault-free
+run.
+
+The plan is evaluated by ``_answer_one`` at the start of a query's
+first attempt only; fallback attempts after a blown deadline run
+clean, which is what lets a ``delay_at`` fault model "the primary
+algorithm was too slow, the fallback was not".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+class InjectedFault(RuntimeError):
+    """The exception :meth:`FaultPlan.on_query` raises for ``raise_at``
+    indices.  A distinct type so tests can tell an injected failure from
+    a genuine one in ``QueryFailure.error_type``."""
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic faults keyed by query index.
+
+    ``raise_at``
+        index -> message; the query's first attempt raises
+        :class:`InjectedFault` with that message (exercises per-query
+        error isolation).
+    ``delay_at``
+        index -> seconds; the query's first attempt sleeps before
+        answering (with a per-query deadline this forces the fallback
+        cascade deterministically, regardless of machine speed).
+    ``die_at``
+        indices whose handling process exits hard with ``os._exit``
+        (no exception, no cleanup -- a genuine worker crash, exercising
+        :class:`~concurrent.futures.process.BrokenProcessPool`
+        recovery).  Guarded by ``parent_pid``: the fault only fires in
+        a *worker*, so the parent's serial retry of the lost chunk
+        answers the query normally.
+
+    ``parent_pid`` is captured at construction time (in the parent, by
+    definition of where plans are built) and inherited by forked
+    workers copy-on-write.
+    """
+
+    raise_at: Dict[int, str] = field(default_factory=dict)
+    delay_at: Dict[int, float] = field(default_factory=dict)
+    die_at: Set[int] = field(default_factory=set)
+    parent_pid: int = field(default_factory=os.getpid)
+
+    def on_query(self, index: int) -> None:
+        """Fire the faults registered for ``index`` (worker death first,
+        then delay, then exception -- a query can carry several)."""
+        if index in self.die_at and os.getpid() != self.parent_pid:
+            os._exit(1)
+        delay = self.delay_at.get(index)
+        if delay:
+            time.sleep(delay)
+        message = self.raise_at.get(index)
+        if message is not None:
+            raise InjectedFault(message)

@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import SearchCounters
+from repro.shortestpath.deadline import DEADLINE_CHECK_INTERVAL, Deadline
 from repro.shortestpath.dijkstra import DijkstraSearch
 from repro.shortestpath.paths import reconstruct_path
 
@@ -77,7 +78,8 @@ def _in_domain(dist_near: float, dist_far: float, bridge_weight: float) -> bool:
 def bridge_domains(network: RoadNetwork, u: int, v: int,
                    targets: Iterable[int],
                    counters: Optional[SearchCounters] = None,
-                   engine: str = "flat") -> BridgeDomains:
+                   engine: str = "flat",
+                   deadline: Optional[Deadline] = None) -> BridgeDomains:
     """Compute ``UD*`` and ``VD*`` for bridge ``(u, v)`` over ``targets``.
 
     Runs the paper's dual-heap loop: the search (from ``u`` or from ``v``)
@@ -95,7 +97,7 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
     from repro.shortestpath.flat import flat_bridge_domains, resolve_engine
     if resolve_engine(engine) == "flat":
         return flat_bridge_domains(network, u, v, targets,
-                                   counters=counters)
+                                   counters=counters, deadline=deadline)
     bridge_weight = network.edge_weight(u, v)
     target_set = set(targets)
     # One shared counter set: the two directions report as one search.
@@ -103,7 +105,16 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
     search_v = DijkstraSearch(network, v, counters=counters)
     pending_u = set(target_set)
     pending_v = set(target_set)
+    if deadline is not None:
+        deadline.check()
+    dl_ticks = DEADLINE_CHECK_INTERVAL
     while pending_u or pending_v:
+        if deadline is not None:
+            # One settle per iteration: the usual quantization.
+            dl_ticks -= 1
+            if dl_ticks <= 0:
+                dl_ticks = DEADLINE_CHECK_INTERVAL
+                deadline.check()
         key_u = search_u.next_key() if pending_u else None
         key_v = search_v.next_key() if pending_v else None
         if key_u is None and key_v is None:
@@ -131,7 +142,9 @@ def bridge_domains(network: RoadNetwork, u: int, v: int,
 def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
                        allowed: Optional[Set[int]] = None,
                        counters: Optional[SearchCounters] = None,
-                       engine: str = "flat") -> Tuple[float, List[int]]:
+                       engine: str = "flat",
+                       deadline: Optional[Deadline] = None,
+                       ) -> Tuple[float, List[int]]:
     """Classic bidirectional Dijkstra point-to-point query.
 
     Alternates forward and backward searches by smaller frontier key and
@@ -148,7 +161,8 @@ def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
                                          resolve_engine)
     if resolve_engine(engine) == "flat":
         return flat_bidirectional_ppsp(network, source, target,
-                                       allowed=allowed, counters=counters)
+                                       allowed=allowed, counters=counters,
+                                       deadline=deadline)
     if source == target:
         return 0.0, [source]
     forward = DijkstraSearch(network, source, allowed, counters=counters)
@@ -169,7 +183,16 @@ def bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
             best = this_side.dist[x] + other
             meeting = x
 
+    if deadline is not None:
+        deadline.check()
+    dl_ticks = DEADLINE_CHECK_INTERVAL
     while True:
+        if deadline is not None:
+            # One settle per iteration: the usual quantization.
+            dl_ticks -= 1
+            if dl_ticks <= 0:
+                dl_ticks = DEADLINE_CHECK_INTERVAL
+                deadline.check()
         key_f = forward.next_key()
         key_b = backward.next_key()
         if key_f is None and key_b is None:

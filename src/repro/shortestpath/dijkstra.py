@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import NULL_COUNTERS, SearchCounters
+from repro.shortestpath.deadline import DEADLINE_CHECK_INTERVAL, Deadline
 from repro.shortestpath.paths import reconstruct_path
 
 
@@ -72,11 +73,15 @@ class DijkstraSearch:
 
     def __init__(self, network: RoadNetwork, source: int,
                  allowed: Optional[Set[int]] = None,
-                 counters: Optional[SearchCounters] = None) -> None:
+                 counters: Optional[SearchCounters] = None,
+                 deadline: Optional[Deadline] = None) -> None:
         if allowed is not None and source not in allowed:
             raise ValueError(f"source {source} not in the allowed set")
         self._adjacency = network.adjacency
         self._allowed = allowed
+        #: Cooperative wall-clock budget; the staged runs poll it with a
+        #: settle-count-quantized check (see repro.shortestpath.deadline).
+        self._deadline = deadline
         self.source = source
         self.dist: Dict[int, float] = {}
         self.pred: Dict[int, int] = {}
@@ -166,7 +171,16 @@ class DijkstraSearch:
         graph with some target still unreached.
         """
         remaining = {t for t in targets if t not in self.dist}
+        deadline = self._deadline
+        if deadline is not None and remaining:
+            deadline.check()
+        ticks = DEADLINE_CHECK_INTERVAL
         while remaining:
+            if deadline is not None:
+                ticks -= 1
+                if ticks <= 0:
+                    ticks = DEADLINE_CHECK_INTERVAL
+                    deadline.check()
             step = self.settle_next()
             if step is None:
                 return False
@@ -180,7 +194,16 @@ class DijkstraSearch:
         vertex beyond the radius is left unsettled (Theorem 1 of the paper
         guarantees it cannot lie on a query shortest path).
         """
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        ticks = DEADLINE_CHECK_INTERVAL
         while True:
+            if deadline is not None:
+                ticks -= 1
+                if ticks <= 0:
+                    ticks = DEADLINE_CHECK_INTERVAL
+                    deadline.check()
             key = self.next_key()
             if key is None or key > radius:
                 return
@@ -188,8 +211,18 @@ class DijkstraSearch:
 
     def run_to_exhaustion(self) -> None:
         """Settle every reachable allowed vertex."""
-        while self.settle_next() is not None:
-            pass
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        ticks = DEADLINE_CHECK_INTERVAL
+        while True:
+            if deadline is not None:
+                ticks -= 1
+                if ticks <= 0:
+                    ticks = DEADLINE_CHECK_INTERVAL
+                    deadline.check()
+            if self.settle_next() is None:
+                return
 
     # ------------------------------------------------------------------
     # Results

@@ -49,12 +49,15 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import monotonic
 from typing import Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.errors import DeadlineExceeded
 from repro.graph.csr import CSRGraph
 from repro.graph.network import RoadNetwork
 from repro.obs.counters import NULL_COUNTERS, SearchCounters
 from repro.shortestpath.astar import AStarResult
+from repro.shortestpath.deadline import DEADLINE_CHECK_INTERVAL, Deadline
 from repro.shortestpath.dijkstra import DijkstraSearch, ShortestPathTree
 from repro.shortestpath.paths import reconstruct_path
 
@@ -174,13 +177,14 @@ class FlatDijkstraSearch:
     """
 
     __slots__ = ("csr", "source", "_arena", "_gen", "_dist", "_pred",
-                 "_settled", "_allowed_arr", "_allowed_gen",
+                 "_settled", "_allowed_arr", "_allowed_gen", "_deadline",
                  "_frontier", "settled_order", "expanded", "counters",
                  "dist", "pred")
 
     def __init__(self, network: Union[RoadNetwork, CSRGraph], source: int,
                  allowed: Optional[Set[int]] = None,
-                 counters: Optional[SearchCounters] = None) -> None:
+                 counters: Optional[SearchCounters] = None,
+                 deadline: Optional[Deadline] = None) -> None:
         if allowed is not None and source not in allowed:
             raise ValueError(f"source {source} not in the allowed set")
         csr = network.csr() if isinstance(network, RoadNetwork) else network
@@ -203,6 +207,9 @@ class FlatDijkstraSearch:
                     aarr[v] = agen
             self._allowed_arr = aarr
             self._allowed_gen = agen
+        #: Cooperative wall-clock budget; the bulk runs poll it with a
+        #: settle-count-quantized check (see repro.shortestpath.deadline).
+        self._deadline = deadline
         self.source = source
         self._dist[source] = 0.0
         self._frontier: List[Tuple[float, int]] = [(0.0, source)]
@@ -316,6 +323,10 @@ class FlatDijkstraSearch:
         before = len(order)
         frontier_before = len(frontier)
         stale = relaxed = pruned = 0
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        dl_ticks = DEADLINE_CHECK_INTERVAL
         while remaining and frontier:
             d, u = heappop(frontier)
             if settled[u] == gen:
@@ -323,6 +334,13 @@ class FlatDijkstraSearch:
                 continue
             settled[u] = gen
             order_append(u)
+            if deadline is not None:
+                dl_ticks -= 1
+                if dl_ticks <= 0:
+                    dl_ticks = DEADLINE_CHECK_INTERVAL
+                    if monotonic() >= deadline.expires_at:
+                        self._abort_deadline(before, frontier_before,
+                                             stale, relaxed, pruned)
             start = indptr[u]
             end = indptr[u + 1]
             relaxed += end - start
@@ -382,6 +400,10 @@ class FlatDijkstraSearch:
         before = len(order)
         frontier_before = len(frontier)
         stale = relaxed = pruned = 0
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        dl_ticks = DEADLINE_CHECK_INTERVAL
         while frontier:
             d, u = frontier[0]
             if settled[u] == gen:
@@ -393,6 +415,13 @@ class FlatDijkstraSearch:
             heappop(frontier)
             settled[u] = gen
             order_append(u)
+            if deadline is not None:
+                dl_ticks -= 1
+                if dl_ticks <= 0:
+                    dl_ticks = DEADLINE_CHECK_INTERVAL
+                    if monotonic() >= deadline.expires_at:
+                        self._abort_deadline(before, frontier_before,
+                                             stale, relaxed, pruned)
             start = indptr[u]
             end = indptr[u + 1]
             relaxed += end - start
@@ -444,6 +473,10 @@ class FlatDijkstraSearch:
         before = len(order)
         frontier_before = len(frontier)
         stale = relaxed = pruned = 0
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        dl_ticks = DEADLINE_CHECK_INTERVAL
         while frontier:
             d, u = heappop(frontier)
             if settled[u] == gen:
@@ -451,6 +484,13 @@ class FlatDijkstraSearch:
                 continue
             settled[u] = gen
             order_append(u)
+            if deadline is not None:
+                dl_ticks -= 1
+                if dl_ticks <= 0:
+                    dl_ticks = DEADLINE_CHECK_INTERVAL
+                    if monotonic() >= deadline.expires_at:
+                        self._abort_deadline(before, frontier_before,
+                                             stale, relaxed, pruned)
             start = indptr[u]
             end = indptr[u + 1]
             relaxed += end - start
@@ -494,6 +534,21 @@ class FlatDijkstraSearch:
         c.vertices_settled += count
         c.expansions_pruned += pruned
 
+    def _abort_deadline(self, before: int, frontier_before: int,
+                        stale: int, relaxed: int, pruned: int) -> None:
+        """Flush the bulk-loop tallies accumulated so far, then raise
+        :class:`DeadlineExceeded` (cold path: at most once per search).
+
+        The arena invariants hold at every settle boundary (every
+        dirtied ``dist`` cell is settled or on the frontier), so the
+        caller may :meth:`release` the search safely after catching.
+        """
+        count = len(self.settled_order) - before
+        pops = count + stale
+        pushed = pops + len(self._frontier) - frontier_before
+        self._flush(pops, stale, relaxed, pushed, pruned, count)
+        raise DeadlineExceeded(self._deadline.describe())
+
     # ------------------------------------------------------------------
     # Results / lifecycle
     # ------------------------------------------------------------------
@@ -536,18 +591,21 @@ def make_search(network: RoadNetwork, source: int,
                 allowed: Optional[Set[int]] = None,
                 counters: Optional[SearchCounters] = None,
                 engine: str = "flat",
+                deadline: Optional[Deadline] = None,
                 ) -> Union[FlatDijkstraSearch, DijkstraSearch]:
     """Construct a resumable SSSP search with the selected engine.
 
     This is the single dispatch point the DPS entry points use; both
     engines expose the same search API and produce identical results and
-    operation counts (the flat kernel's contract).
+    operation counts (the flat kernel's contract).  ``deadline``
+    (optional) installs a cooperative wall-clock budget both engines
+    poll from their bulk runs -- see :mod:`repro.shortestpath.deadline`.
     """
     if resolve_engine(engine) == "flat":
         return FlatDijkstraSearch(network, source, allowed=allowed,
-                                  counters=counters)
+                                  counters=counters, deadline=deadline)
     return DijkstraSearch(network, source, allowed=allowed,
-                          counters=counters)
+                          counters=counters, deadline=deadline)
 
 
 def release_search(search: Union[FlatDijkstraSearch, DijkstraSearch],
@@ -561,7 +619,8 @@ def release_search(search: Union[FlatDijkstraSearch, DijkstraSearch],
 
 def flat_bridge_domains(network: RoadNetwork, u: int, v: int,
                         targets: Iterable[int],
-                        counters: Optional[SearchCounters] = None):
+                        counters: Optional[SearchCounters] = None,
+                        deadline: Optional[Deadline] = None):
     """Fused dual-heap bridge-domain computation (Section V-B.2).
 
     One tight loop advances *two* pooled-arena searches -- from ``u`` and
@@ -611,7 +670,23 @@ def flat_bridge_domains(network: RoadNetwork, u: int, v: int,
     fu_before = len(fu)
     fv_before = len(fv)
     stale_u = stale_v = relaxed_u = relaxed_v = 0
+    if deadline is not None and deadline.expired():
+        release_search(search_u)
+        release_search(search_v)
+        raise DeadlineExceeded(deadline.describe())
+    dl_ticks = DEADLINE_CHECK_INTERVAL
     while pending_u or pending_v:
+        if deadline is not None:
+            # Each iteration settles exactly one vertex (on one side),
+            # so this is the same settle-count quantization as the
+            # single-search bulk runs.
+            dl_ticks -= 1
+            if dl_ticks <= 0:
+                dl_ticks = DEADLINE_CHECK_INTERVAL
+                if monotonic() >= deadline.expires_at:
+                    release_search(search_u)
+                    release_search(search_v)
+                    raise DeadlineExceeded(deadline.describe())
         if pending_u:
             while fu and settled_u[fu[0][1]] == gen_u:
                 heappop(fu)  # stale entry
@@ -687,6 +762,7 @@ def flat_bridge_domains(network: RoadNetwork, u: int, v: int,
 def flat_bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
                             allowed: Optional[Set[int]] = None,
                             counters: Optional[SearchCounters] = None,
+                            deadline: Optional[Deadline] = None,
                             ) -> Tuple[float, List[int]]:
     """Fused bidirectional point-to-point Dijkstra on the CSR arrays.
 
@@ -738,8 +814,18 @@ def flat_bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
     fb_before = len(fb)
     stale_f = stale_b = relaxed_f = relaxed_b = 0
     pruned_f = pruned_b = 0
+    dl_ticks = DEADLINE_CHECK_INTERVAL
     try:
+        if deadline is not None:
+            deadline.check()
         while True:
+            if deadline is not None:
+                # One settle per iteration: the usual quantization.
+                dl_ticks -= 1
+                if dl_ticks <= 0:
+                    dl_ticks = DEADLINE_CHECK_INTERVAL
+                    if monotonic() >= deadline.expires_at:
+                        raise DeadlineExceeded(deadline.describe())
             while ff and settled_f[ff[0][1]] == gen_f:
                 heappop(ff)  # stale entry
                 stale_f += 1

@@ -1,12 +1,14 @@
 """Failure-injection tests for index serialisation: a corrupted or
-mismatched index file must fail loudly at load time, never produce a
-silently-wrong query processor."""
+mismatched index file must fail loudly at load time -- with
+:class:`~repro.errors.IndexFormatError` naming the path and what is
+wrong -- never produce a silently-wrong query processor."""
 
 import json
 
 import pytest
 
 from repro.core.roadpart.index import RoadPartIndex
+from repro.errors import IndexFormatError
 
 
 @pytest.fixture()
@@ -44,14 +46,45 @@ class TestCorruptedIndexFiles:
     def test_missing_required_key(self, index_payload, medium_network):
         payload, tmp_path = index_payload
         del payload["region_vectors"]
-        with pytest.raises(KeyError):
+        with pytest.raises(IndexFormatError,
+                           match="missing required keys: region_vectors"):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_missing_keys_all_named(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        del payload["region_vectors"]
+        del payload["bridges"]
+        with pytest.raises(IndexFormatError,
+                           match="region_vectors, bridges"):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_error_names_the_path(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        del payload["bridges"]
+        with pytest.raises(IndexFormatError, match="mutated.json"):
+            _write_and_load(payload, tmp_path, medium_network)
+
+    def test_non_object_payload(self, tmp_path, medium_network):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(IndexFormatError, match="expected a JSON"):
+            RoadPartIndex.load(path, medium_network)
+
+    def test_malformed_vectors(self, index_payload, medium_network):
+        payload, tmp_path = index_payload
+        payload["region_vectors"] = [[[0]]]  # label missing its high end
+        with pytest.raises(IndexFormatError, match="malformed"):
             _write_and_load(payload, tmp_path, medium_network)
 
     def test_not_json(self, tmp_path, medium_network):
         path = tmp_path / "garbage.json"
         path.write_text("this is not json{{{")
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(IndexFormatError, match="not valid JSON"):
             RoadPartIndex.load(path, medium_network)
+
+    def test_format_error_is_a_value_error(self):
+        # Callers that caught the old ValueError keep working.
+        assert issubclass(IndexFormatError, ValueError)
 
     def test_missing_file(self, tmp_path, medium_network):
         with pytest.raises(OSError):

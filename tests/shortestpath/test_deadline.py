@@ -1,0 +1,202 @@
+"""Cooperative per-query deadlines (:mod:`repro.shortestpath.deadline`).
+
+Three contracts, each pinned for both engines:
+
+- an already-expired deadline raises :class:`DeadlineExceeded` at the
+  start of any bulk run, so even tiny searches notice a blown budget;
+- a generous deadline is invisible: answers, settle orders and counters
+  are identical to running with no deadline at all;
+- an abort mid-search leaves the flat engine's pooled arena reusable --
+  the all-inf invariant is restored on release, so the next search from
+  the pool still answers correctly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ble import bl_efficiency
+from repro.core.blq import bl_quality
+from repro.core.dps import DPSQuery
+from repro.core.hull import convex_hull_dps
+from repro.core.roadpart.query import roadpart_dps
+from repro.errors import DeadlineExceeded
+from repro.obs.counters import SearchCounters
+from repro.shortestpath.bidirectional import (
+    bidirectional_ppsp,
+    bridge_domains,
+)
+from repro.shortestpath.deadline import Deadline
+from repro.shortestpath.flat import make_search, release_search
+
+ENGINES = ("flat", "dict")
+
+
+def expired() -> Deadline:
+    """A deadline that is already blown when the search starts."""
+    return Deadline.after(0.0)
+
+
+def generous() -> Deadline:
+    """A deadline no test workload can blow."""
+    return Deadline.after(60.0)
+
+
+class TestDeadlineObject:
+
+    def test_after_sets_budget(self):
+        dl = Deadline.after(1.5)
+        assert dl.budget == 1.5
+        assert dl.remaining() > 1.0
+        assert not dl.expired()
+
+    def test_expired_deadline_checks(self):
+        dl = expired()
+        assert dl.expired()
+        assert dl.remaining() <= 0.0
+        with pytest.raises(DeadlineExceeded, match="deadline"):
+            dl.check()
+
+    def test_describe_mentions_budget_ms(self):
+        assert "250ms" in Deadline.after(0.25).describe()
+
+
+class TestEngineDeadlines:
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_expired_raises_on_entry(self, medium_network, engine):
+        search = make_search(medium_network, 0, engine=engine,
+                             deadline=expired())
+        with pytest.raises(DeadlineExceeded):
+            search.run_until_settled([medium_network.num_vertices - 1])
+        release_search(search)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_expired_raises_on_exhaustion_run(self, medium_network,
+                                              engine):
+        search = make_search(medium_network, 0, engine=engine,
+                             deadline=expired())
+        with pytest.raises(DeadlineExceeded):
+            search.run_to_exhaustion()
+        release_search(search)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_generous_deadline_is_invisible(self, medium_network,
+                                            engine):
+        plain_counters = SearchCounters()
+        plain = make_search(medium_network, 0, counters=plain_counters,
+                            engine=engine)
+        plain.run_to_exhaustion()
+        plain_dist = dict(plain.dist)
+        plain_order = list(plain.settled_order)
+        release_search(plain)
+        bounded_counters = SearchCounters()
+        bounded = make_search(medium_network, 0,
+                              counters=bounded_counters, engine=engine,
+                              deadline=generous())
+        bounded.run_to_exhaustion()
+        assert dict(bounded.dist) == plain_dist
+        assert list(bounded.settled_order) == plain_order
+        assert bounded_counters.as_dict() == plain_counters.as_dict()
+        release_search(bounded)
+
+    def test_arena_reusable_after_abort(self, medium_network):
+        # The abort path must restore the pooled arena's all-inf
+        # invariant, else the *next* search from the pool answers from
+        # stale labels.
+        search = make_search(medium_network, 0, deadline=expired())
+        with pytest.raises(DeadlineExceeded):
+            search.run_to_exhaustion()
+        release_search(search)
+        reference = make_search(medium_network, 3, engine="dict")
+        reference.run_to_exhaustion()
+        fresh = make_search(medium_network, 3)
+        fresh.run_to_exhaustion()
+        assert dict(fresh.dist) == dict(reference.dist)
+        release_search(fresh)
+
+    def test_abort_before_work_counts_nothing(self, medium_network):
+        # The entry check fires before the first settle, so a blown
+        # budget that never did work must not inflate the counters.
+        counters = SearchCounters()
+        search = make_search(medium_network, 0, counters=counters,
+                             deadline=expired())
+        with pytest.raises(DeadlineExceeded):
+            search.run_to_exhaustion()
+        release_search(search)
+        assert counters.vertices_settled == 0
+
+
+class TestDualHeapDeadlines:
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bridge_domains_expired(self, bridge_network, engine):
+        from tests.conftest import BRIDGE_U, BRIDGE_V
+        with pytest.raises(DeadlineExceeded):
+            bridge_domains(bridge_network, BRIDGE_U, BRIDGE_V,
+                           [0, 24], engine=engine, deadline=expired())
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ppsp_expired(self, medium_network, engine):
+        with pytest.raises(DeadlineExceeded):
+            bidirectional_ppsp(medium_network, 0,
+                               medium_network.num_vertices - 1,
+                               engine=engine, deadline=expired())
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ppsp_generous_matches_plain(self, medium_network, engine):
+        target = medium_network.num_vertices - 1
+        plain = bidirectional_ppsp(medium_network, 0, target,
+                                   engine=engine)
+        bounded = bidirectional_ppsp(medium_network, 0, target,
+                                     engine=engine, deadline=generous())
+        assert bounded == plain
+
+
+class TestEntryPointDeadlines:
+    """All four DPS algorithms propagate a blown budget as the typed
+    error (the serve layer's fallback cascade keys on it)."""
+
+    def test_ble(self, medium_network, medium_query):
+        with pytest.raises(DeadlineExceeded):
+            bl_efficiency(medium_network, medium_query,
+                          deadline=expired())
+
+    def test_blq(self, medium_network, medium_query):
+        with pytest.raises(DeadlineExceeded):
+            bl_quality(medium_network, medium_query, deadline=expired())
+
+    def test_hull(self, medium_network, medium_query):
+        with pytest.raises(DeadlineExceeded):
+            convex_hull_dps(medium_network, medium_query,
+                            deadline=expired())
+
+    def test_roadpart(self, medium_index, medium_query):
+        # medium_query examines bridges (b > 0), so SSSP work -- and
+        # with it the deadline check -- is guaranteed to run.
+        with pytest.raises(DeadlineExceeded):
+            roadpart_dps(medium_index, medium_query, deadline=expired())
+
+    @pytest.mark.parametrize("runner", ["ble", "blq", "hull",
+                                        "roadpart"])
+    def test_generous_deadline_preserves_answers(self, medium_network,
+                                                 medium_index,
+                                                 medium_query, runner):
+        if runner == "roadpart":
+            plain = roadpart_dps(medium_index, medium_query)
+            bounded = roadpart_dps(medium_index, medium_query,
+                                   deadline=generous())
+        elif runner == "blq":
+            plain = bl_quality(medium_network, medium_query)
+            bounded = bl_quality(medium_network, medium_query,
+                                 deadline=generous())
+        elif runner == "ble":
+            plain = bl_efficiency(medium_network, medium_query)
+            bounded = bl_efficiency(medium_network, medium_query,
+                                    deadline=generous())
+        else:
+            plain = convex_hull_dps(medium_network, medium_query)
+            bounded = convex_hull_dps(medium_network, medium_query,
+                                      deadline=generous())
+        assert bounded.vertices == plain.vertices
+        assert bounded.stats == plain.stats

@@ -274,3 +274,62 @@ class TestBatchQuery:
                      "--batch", "2", "--jobs", "2"])
         assert code == 0
         assert "batch: 2 queries" in capsys.readouterr().out
+
+    def test_batch_reports_effective_jobs(self, generated_map,
+                                          built_index, capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart", "--epsilon", "0.25",
+                     "--seed", "5", "--batch", "3", "--jobs", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Requested and effective worker counts both surface: 8 workers
+        # were asked for, at most 3 chunks exist for 3 queries.
+        assert "jobs=8" in out
+        assert "effective=" in out
+
+
+class TestDeadlineFlags:
+    @pytest.fixture()
+    def built_index(self, generated_map, tmp_path):
+        out = tmp_path / "map.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "6", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_generous_deadline_answers_normally(self, generated_map,
+                                                built_index, capsys):
+        # --deadline-ms routes through the batch driver even for a
+        # single query; a generous budget changes nothing.
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart", "--epsilon", "0.25",
+                     "--seed", "5", "--deadline-ms", "60000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0] RoadPart" in out
+        assert "FAILED" not in out
+
+    def test_deadline_with_explicit_vertices(self, generated_map,
+                                             built_index, capsys):
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(built_index),
+                     "--algorithm", "roadpart",
+                     "--vertices", "0,17,35",
+                     "--deadline-ms", "60000"])
+        assert code == 0
+        assert "[0] RoadPart" in capsys.readouterr().out
+
+    def test_unknown_fallback_name_errors(self, generated_map,
+                                          built_index):
+        with pytest.raises(ValueError, match="unknown fallback"):
+            main(["query", "--graph", f"{generated_map}.gr",
+                  "--coords", f"{generated_map}.co",
+                  "--index", str(built_index),
+                  "--algorithm", "roadpart", "--batch", "2",
+                  "--deadline-ms", "60000", "--fallback", "astar"])

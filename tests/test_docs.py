@@ -67,6 +67,29 @@ class TestObservabilityDoc:
             assert needle in observability_doc, (
                 f"{needle!r} missing from docs/observability.md")
 
+    def test_documents_fault_tolerance_counters(self, observability_doc):
+        """PR 4 surfaces: the failure/fallback/retry counters, the new
+        CLI flags and the gauge split must stay documented."""
+        for needle in ("failures", "fallbacks", "retries",
+                       "effective_jobs", "QueryFailure", "deadline_ms",
+                       "--deadline-ms", "--fallback", "--max-retries",
+                       "radius_min", "radius_max", "radius_mean",
+                       "center_vertex", "--inject"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
+
+    def test_count_extras_registry_matches_entry_points(self):
+        """Every numeric extra a DPS entry point emits must be
+        classified by the merge: either a summed count or a known
+        identity; anything else silently becomes a gauge, which is
+        wrong for a count."""
+        from repro.serve import COUNT_EXTRAS, IDENTITY_EXTRAS
+        emitted_counts = {"b", "bv", "regions_kept", "query_regions",
+                          "sssp_rounds", "border", "refined"}
+        assert emitted_counts <= COUNT_EXTRAS
+        assert "center_vertex" in IDENTITY_EXTRAS
+        assert "radius" not in COUNT_EXTRAS  # the gauge the split fixes
+
     def test_phase_labels_match_source(self):
         """The grep targets above must themselves track the code."""
         sources = {
@@ -100,5 +123,13 @@ class TestReadmeLinks:
         doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
         for needle in ("flat_bridge_domains", "flat_bidirectional_ppsp",
                        "run_queries"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
+
+    def test_architecture_doc_covers_fault_tolerance(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("QueryFailure", "DeadlineExceeded", "Deadline",
+                       "FaultPlan", "BrokenProcessPool", "max_retries",
+                       "deadline_ms", "fallback"):
             assert needle in doc, (
                 f"{needle!r} missing from docs/architecture.md")

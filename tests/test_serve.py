@@ -152,3 +152,40 @@ class TestMergeQueryStats:
         assert merged.result_size == 30
         assert merged.extras["b"] == 7
         assert "note" not in merged.extras
+
+    def test_gauges_aggregate_not_sum(self):
+        # BL-E's radius is a per-query gauge: summing it across a batch
+        # (the old behaviour) produced a meaningless total.
+        a, b, c = QueryStats(), QueryStats(), QueryStats()
+        a.extras["radius"] = 2.0
+        b.extras["radius"] = 6.0
+        c.extras["radius"] = 4.0
+        merged = merge_query_stats([a, b, c])
+        assert "radius" not in merged.extras
+        assert merged.extras["radius_min"] == 2.0
+        assert merged.extras["radius_max"] == 6.0
+        assert merged.extras["radius_mean"] == 4.0
+
+    def test_identity_extras_dropped(self):
+        # A vertex id is neither a count nor a gauge; any aggregate of
+        # it is nonsense, so the merge drops it entirely.
+        a, b = QueryStats(), QueryStats()
+        a.extras["center_vertex"] = 12
+        b.extras["center_vertex"] = 980
+        merged = merge_query_stats([a, b])
+        assert not any(k.startswith("center_vertex")
+                       for k in merged.extras)
+
+    def test_ble_batch_merge_end_to_end(self, medium_network):
+        queries = [DPSQuery.q_query(window_query(medium_network, 0.2,
+                                                 seed=s))
+                   for s in (41, 42, 43)]
+        outcome = run_queries("ble", queries, network=medium_network,
+                              collect_stats=True)
+        radii = [qs.extras["radius"] for qs in outcome.per_query]
+        assert outcome.stats.extras["radius_min"] == min(radii)
+        assert outcome.stats.extras["radius_max"] == max(radii)
+        assert outcome.stats.extras["radius_mean"] \
+            == pytest.approx(sum(radii) / len(radii))
+        assert "radius" not in outcome.stats.extras
+        assert outcome.stats.extras["sssp_rounds"] == len(queries)

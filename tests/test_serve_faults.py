@@ -1,0 +1,272 @@
+"""Fault tolerance of the batched-query driver (:mod:`repro.serve`).
+
+Every test here pins the same contract from a different angle: a fault
+-- an exception inside one query, a worker process dying, a blown
+per-query deadline -- has a blast radius of exactly one query.  The
+batch always comes back with one entry per query, and every *other*
+answer (and its per-query counters) is byte-identical to a fault-free
+serial run.
+
+Faults are injected deterministically via
+:class:`repro.serve.faults.FaultPlan`; nothing here depends on timing
+except the deadline tests, which use a multi-second injected delay
+against a multi-second budget so the ordering is unambiguous on any
+machine.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.core.dps import DPSQuery
+from repro.core.roadpart.parallel import fork_available
+from repro.datasets.queries import window_query
+from repro.serve import DEFAULT_FALLBACK, QueryFailure, run_queries
+from repro.serve.faults import FaultPlan, InjectedFault
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="no fork start method on this platform")
+
+#: Budget for the deadline tests: far above a medium-network query
+#: (tens of ms), far below the injected delay.
+DEADLINE_MS = 2000.0
+#: Injected slowness that guarantees the first attempt blows the budget.
+DELAY_S = 2.5
+
+#: Hard per-test wall-clock cap.  pytest-timeout is not available in
+#: this environment, so the suite carries its own SIGALRM guard -- a
+#: hung worker-recovery path must fail the test, not the CI job.
+PER_TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def per_test_timeout():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX only
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {PER_TEST_TIMEOUT_S}s fault-suite cap")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(PER_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def batch(medium_network):
+    """Four distinct window queries over the medium network."""
+    return [DPSQuery.q_query(window_query(medium_network, 0.2, seed=s))
+            for s in (31, 32, 33, 34)]
+
+
+@pytest.fixture(scope="module")
+def clean(medium_index, batch):
+    """The fault-free serial reference run, stats collected."""
+    return run_queries("roadpart", batch, index=medium_index,
+                       collect_stats=True)
+
+
+def _entry_fingerprint(outcome, i):
+    """One query's observable output: answer + counters."""
+    result = outcome.results[i]
+    qs = outcome.per_query[i]
+    return (result.vertices, result.stats,
+            None if qs is None else (qs.counters.as_dict(),
+                                     qs.result_size))
+
+
+class TestErrorIsolation:
+
+    def test_injected_exception_fails_only_its_query(self, medium_index,
+                                                     batch, clean):
+        plan = FaultPlan(raise_at={2: "poisoned query"})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              collect_stats=True, faults=plan)
+        assert len(outcome.results) == len(batch)
+        failure = outcome.results[2]
+        assert isinstance(failure, QueryFailure)
+        assert failure.error_type == "InjectedFault"
+        assert failure.message == "poisoned query"
+        assert failure.elapsed >= 0.0
+        assert failure.algorithm == "roadpart"
+        assert outcome.failures == [failure]
+        assert outcome.ok_count == len(batch) - 1
+        for i in range(len(batch)):
+            if i == 2:
+                continue
+            assert _entry_fingerprint(outcome, i) \
+                == _entry_fingerprint(clean, i)
+
+    @needs_fork
+    def test_injected_exception_parallel(self, medium_index, batch,
+                                         clean):
+        plan = FaultPlan(raise_at={1: "poisoned query"})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              jobs=2, collect_stats=True, faults=plan)
+        assert isinstance(outcome.results[1], QueryFailure)
+        assert outcome.ok_count == len(batch) - 1
+        for i in (0, 2, 3):
+            assert _entry_fingerprint(outcome, i) \
+                == _entry_fingerprint(clean, i)
+
+    def test_failure_counter_lands_in_merged_stats(self, medium_index,
+                                                   batch):
+        plan = FaultPlan(raise_at={0: "x"})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              collect_stats=True, faults=plan)
+        assert outcome.stats.extras["failures"] == 1
+        assert outcome.stats.extras["fallbacks"] == 0
+        assert outcome.stats.extras["retries"] == 0
+
+    def test_fault_plan_raises_the_typed_error(self):
+        plan = FaultPlan(raise_at={0: "boom"})
+        with pytest.raises(InjectedFault, match="boom"):
+            plan.on_query(0)
+        plan.on_query(1)  # other indices are untouched
+
+
+@needs_fork
+class TestWorkerCrashRecovery:
+
+    def test_dead_worker_chunk_is_retried(self, medium_index, batch,
+                                          clean):
+        plan = FaultPlan(die_at={0})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              jobs=2, collect_stats=True, faults=plan)
+        # The parent's serial retry answers every query, including the
+        # one whose worker died (the death fires only in workers).
+        assert outcome.ok_count == len(batch)
+        assert outcome.retries >= 1
+        assert outcome.stats.extras["retries"] == outcome.retries
+        for i in range(len(batch)):
+            assert _entry_fingerprint(outcome, i) \
+                == _entry_fingerprint(clean, i)
+
+    def test_retry_budget_exhaustion_raises(self, medium_index, batch):
+        from concurrent.futures.process import BrokenProcessPool
+        plan = FaultPlan(die_at={0})
+        with pytest.raises(BrokenProcessPool, match="max_retries"):
+            run_queries("roadpart", batch, index=medium_index, jobs=2,
+                        faults=plan, max_retries=0)
+
+
+class TestDeadlineFallback:
+
+    def test_slow_query_falls_back_to_ble(self, medium_network,
+                                          medium_index, batch, clean):
+        plan = FaultPlan(delay_at={1: DELAY_S})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              collect_stats=True,
+                              deadline_ms=DEADLINE_MS, faults=plan)
+        # The delayed query blew its budget on the first attempt and
+        # was answered by the fallback algorithm instead of failing.
+        assert outcome.fallbacks[1] == "ble"
+        assert outcome.results[1].algorithm == "BL-E"
+        assert not outcome.failures
+        reference = run_queries("ble", batch[1:2],
+                                network=medium_network)
+        assert outcome.results[1].vertices \
+            == reference.results[0].vertices
+        # Everyone else answered under the primary, byte-identically.
+        for i in (0, 2, 3):
+            assert outcome.fallbacks[i] is None
+            assert _entry_fingerprint(outcome, i) \
+                == _entry_fingerprint(clean, i)
+        assert outcome.stats.extras["fallbacks"] == 1
+
+    def test_empty_fallback_surfaces_the_deadline(self, medium_index,
+                                                  batch):
+        plan = FaultPlan(delay_at={0: DELAY_S})
+        outcome = run_queries("roadpart", batch[:2], index=medium_index,
+                              deadline_ms=DEADLINE_MS, fallback=(),
+                              faults=plan)
+        failure = outcome.results[0]
+        assert isinstance(failure, QueryFailure)
+        assert failure.error_type == "DeadlineExceeded"
+        assert failure.algorithm == "roadpart"
+        assert not isinstance(outcome.results[1], QueryFailure)
+
+    def test_default_cascade_registry(self):
+        assert set(DEFAULT_FALLBACK) == {"roadpart", "blq", "ble",
+                                         "hull"}
+        assert DEFAULT_FALLBACK["ble"] == ()
+
+    def test_unknown_fallback_rejected(self, medium_index, batch):
+        with pytest.raises(ValueError, match="unknown fallback"):
+            run_queries("roadpart", batch, index=medium_index,
+                        deadline_ms=DEADLINE_MS, fallback=("astar",))
+
+
+class TestJobsReporting:
+
+    def test_serial_fallback_records_effective_jobs(self, medium_index,
+                                                    batch):
+        # One query can never fan out; the requested count is reported
+        # as asked, the effective count tells the truth.
+        outcome = run_queries("roadpart", batch[:1], index=medium_index,
+                              jobs=4)
+        assert outcome.jobs == 4
+        assert outcome.effective_jobs == 1
+
+    @needs_fork
+    def test_parallel_records_effective_jobs(self, medium_index, batch):
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              jobs=2)
+        assert outcome.jobs == 2
+        assert outcome.effective_jobs == 2
+
+    @needs_fork
+    def test_more_jobs_than_queries_capped(self, medium_index, batch):
+        outcome = run_queries("roadpart", batch[:2], index=medium_index,
+                              jobs=8)
+        assert outcome.jobs == 8
+        assert outcome.effective_jobs == 2
+
+
+@needs_fork
+class TestCombinedFaults:
+    """The acceptance scenario: one worker crash, one per-query
+    exception and one blown deadline in a single parallel batch."""
+
+    def test_three_faults_one_batch(self, medium_network, medium_index,
+                                    batch, clean):
+        plan = FaultPlan(die_at={0}, raise_at={2: "poisoned query"},
+                         delay_at={3: DELAY_S})
+        outcome = run_queries("roadpart", batch, index=medium_index,
+                              jobs=2, collect_stats=True,
+                              deadline_ms=DEADLINE_MS, faults=plan)
+        assert len(outcome.results) == len(batch)
+        # Query 0: its worker died; the parent's retry answered it.
+        assert not isinstance(outcome.results[0], QueryFailure)
+        assert _entry_fingerprint(outcome, 0) \
+            == _entry_fingerprint(clean, 0)
+        assert outcome.retries >= 1
+        # Query 2: failed structurally, with the injected metadata.
+        failure = outcome.results[2]
+        assert isinstance(failure, QueryFailure)
+        assert failure.error_type == "InjectedFault"
+        assert failure.message == "poisoned query"
+        # Query 3: degraded to the fallback algorithm.
+        assert outcome.fallbacks[3] == "ble"
+        assert outcome.results[3].algorithm == "BL-E"
+        reference = run_queries("ble", batch[3:4],
+                                network=medium_network)
+        assert outcome.results[3].vertices \
+            == reference.results[0].vertices
+        # The untouched query is byte-identical to the fault-free run.
+        assert _entry_fingerprint(outcome, 1) \
+            == _entry_fingerprint(clean, 1)
+        assert outcome.fallbacks[1] is None
+        # Batch health summary adds up.
+        assert outcome.ok_count == 3
+        assert outcome.stats.extras["failures"] == 1
+        assert outcome.stats.extras["fallbacks"] == 1
+        assert outcome.stats.extras["retries"] == outcome.retries
