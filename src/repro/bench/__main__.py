@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pathlib
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.bench.reporting import render_series, render_table, write_bench_json
 
@@ -184,8 +184,38 @@ def _run_bridges(small: bool = False, check: bool = False) -> bool:
     return True
 
 
-def _run_throughput(small: bool = False, inject: bool = False) -> None:
-    from repro.bench.experiments.throughput import run_throughput
+def _run_throughput(small: bool = False, inject: bool = False,
+                    arrival_rate: Optional[float] = None,
+                    requests: Optional[int] = None) -> None:
+    from repro.bench.experiments.throughput import (
+        ARRIVAL_RATE,
+        ARRIVAL_REQUESTS,
+        run_arrival_rate,
+        run_throughput,
+    )
+    if arrival_rate is not None:
+        rate = arrival_rate or ARRIVAL_RATE
+        count = requests or (12 if small else ARRIVAL_REQUESTS)
+        measure = run_arrival_rate(rate=rate, request_count=count,
+                                   unique_queries=4 if small else 8)
+        _emit("throughput_arrival", render_table(
+            f"Open-loop daemon latency -- {measure.algorithm} on"
+            f" {measure.dataset} at {measure.rate:g} req/s"
+            f" (/metrics counters verified against bench tallies)",
+            ["requests", "unique", "span (s)", "achieved req/s",
+             "p50 (ms)", "p95 (ms)", "p99 (ms)", "cache hits",
+             "cache misses", "failures"],
+            [[measure.requests, measure.unique_queries,
+              round(measure.seconds, 3),
+              round(measure.achieved_rps, 1),
+              round(measure.latency_percentile_ms(50), 2),
+              round(measure.latency_percentile_ms(95), 2),
+              round(measure.latency_percentile_ms(99), 2),
+              measure.cache_hits, measure.cache_misses,
+              measure.failures]]))
+        print("metrics cross-check: ok -- daemon counters match the"
+              " bench's own request tallies")
+        return
     measures = run_throughput(query_count=4 if small else 8,
                               repeats=1 if small else 3, inject=inject)
     _emit("throughput", render_table(
@@ -247,8 +277,23 @@ def main(argv: List[str]) -> int:
     small = "--small" in argv
     check = "--check" in argv
     inject = "--inject" in argv
-    names = [a for a in argv if a not in ("--small", "--check",
-                                          "--inject")]
+    # --arrival-rate[=R] switches throughput to the open-loop daemon
+    # mode; --requests=N sizes it.  Flag-only argv parsing, like the
+    # rest of this entry point.
+    arrival_rate = None
+    requests = None
+    names: List[str] = []
+    for arg in argv:
+        if arg in ("--small", "--check", "--inject"):
+            continue
+        if arg == "--arrival-rate":
+            arrival_rate = 0.0  # sentinel: mode on, default rate
+        elif arg.startswith("--arrival-rate="):
+            arrival_rate = float(arg.split("=", 1)[1])
+        elif arg.startswith("--requests="):
+            requests = int(arg.split("=", 1)[1])
+        else:
+            names.append(arg)
     names = names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -261,7 +306,9 @@ def main(argv: List[str]) -> int:
             if EXPERIMENTS[name](small=small, check=check) is False:
                 status = 1
         elif name == "throughput":
-            EXPERIMENTS[name](small=small, inject=inject)
+            EXPERIMENTS[name](small=small, inject=inject,
+                              arrival_rate=arrival_rate,
+                              requests=requests)
         else:
             EXPERIMENTS[name](small=small)
     return status

@@ -31,6 +31,14 @@ driver) gives every query a wall-clock budget with graceful degradation
 down the ``--fallback`` cascade; failed queries print as ``FAILED``
 lines and flip the exit status to 1, and ``--max-retries`` bounds
 worker-crash chunk retries.
+
+``serve`` starts the long-lived HTTP daemon of
+:mod:`repro.serve.daemon` (endpoints ``/query``, ``/healthz``,
+``/metrics``; full operations guide in docs/serving.md) and shuts down
+gracefully on SIGTERM/SIGINT.  ``index convert`` translates a RoadPart
+index between the legacy JSON layout and the compact binary layout the
+daemon mmaps (``repro.core.roadpart.binfmt``); ``index info`` describes
+an index file of either format without loading its payload.
 """
 
 from __future__ import annotations
@@ -171,7 +179,7 @@ def _cmd_query_batch(args, network: RoadNetwork) -> int:
             print("error: --algorithm roadpart requires --index",
                   file=sys.stderr)
             return 2
-        index = RoadPartIndex.load(args.index, network)
+        index = RoadPartIndex.load_auto(args.index, network)
     want_stats = args.stats or args.stats_json
     fallback = None
     if args.fallback is not None:
@@ -225,7 +233,7 @@ def _cmd_query(args) -> int:
             print("error: --algorithm roadpart requires --index",
                   file=sys.stderr)
             return 2
-        index = RoadPartIndex.load(args.index, network)
+        index = RoadPartIndex.load_auto(args.index, network)
         result = roadpart_dps(index, query, stats=qstats,
                               engine=args.engine)
     elif args.algorithm == "blq":
@@ -260,6 +268,97 @@ def _cmd_query(args) -> int:
             json.dump(mapping, fh)
         print(f"wrote {args.out}.gr / {args.out}.co / {args.out}.vertices",
               file=chat)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the query daemon in the foreground until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import DPSDaemon
+
+    network = _load_network(args)
+    index = None
+    if args.index:
+        index = RoadPartIndex.load_auto(args.index, network)
+    elif args.algorithm == "roadpart":
+        print("error: --algorithm roadpart requires --index",
+              file=sys.stderr)
+        return 2
+    fallback = None
+    if args.fallback is not None:
+        fallback = tuple(n for n in args.fallback.split(",") if n) \
+            if args.fallback else ()
+    try:
+        daemon = DPSDaemon(network, index, algorithm=args.algorithm,
+                           engine=args.engine,
+                           deadline_ms=args.deadline_ms,
+                           fallback=fallback,
+                           cache_size=args.cache_size,
+                           host=args.host, port=args.port,
+                           verbose=args.verbose)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = daemon.start()
+    # The serving thread runs in the background; the main thread parks
+    # on an event so signal handlers (main-thread-only) stay trivial --
+    # they set the event instead of calling shutdown() re-entrantly.
+    stop_event = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop_event.set())
+    print(f"serving on http://{args.host}:{port}"
+          f" (algorithm={args.algorithm}, engine={args.engine},"
+          f" cache={args.cache_size},"
+          f" index={'yes' if index is not None else 'no'})",
+          flush=True)
+    stop_event.wait()
+    daemon.stop()
+    print(f"daemon stopped: {daemon.requests_total} requests served,"
+          f" {daemon.cache.hits} cache hits,"
+          f" {daemon.failures_total} failures", flush=True)
+    return 0
+
+
+def _cmd_index_convert(args) -> int:
+    network = _load_network(args)
+    index = RoadPartIndex.load_auto(getattr(args, "in"), network)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "json" if args.out.endswith(".json") else "bin"
+    if fmt == "bin":
+        index.save_binary(args.out)
+    else:
+        index.save(args.out)
+    print(f"wrote {args.out} ({fmt}: l={index.border_count},"
+          f" |R|={index.regions.region_count},"
+          f" bridges={len(index.bridges)})")
+    return 0
+
+
+def _cmd_index_info(args) -> int:
+    from repro.core.roadpart import binfmt
+    path = getattr(args, "in")
+    if binfmt.sniff_binary(path):
+        header = binfmt.read_header(path)
+        print(f"format:      {binfmt.FORMAT_NAME}"
+              f" (version {header.version})")
+        print(f"vertices:    {header.num_vertices}")
+        print(f"borders (l): {header.border_count}")
+        print(f"regions:     {header.region_count}")
+        print(f"bridges:     {header.bridge_count}")
+        for tag, (offset, length) in header.sections.items():
+            print(f"section {tag.decode('ascii'):<9}"
+                  f" offset={offset} bytes={length}")
+        return 0
+    with open(path, "r", encoding="ascii") as stream:
+        payload = json.load(stream)
+    print(f"format:      {payload.get('format', '?')}")
+    print(f"vertices:    {payload.get('num_vertices', '?')}")
+    print(f"borders (l): {len(payload.get('border_vertex_ids', []))}")
+    print(f"regions:     {len(payload.get('region_vectors', []))}")
+    print(f"bridges:     {len(payload.get('bridges', []))}")
     return 0
 
 
@@ -354,6 +453,60 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--stats-json", action="store_true",
                        help="print phase timings and counters as JSON")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser("serve", help="run the HTTP query daemon"
+                                         " (see docs/serving.md)")
+    serve.add_argument("--graph", required=True)
+    serve.add_argument("--coords", required=True)
+    serve.add_argument("--index",
+                       help="RoadPart index file (JSON or binary,"
+                            " sniffed by magic bytes)")
+    serve.add_argument("--algorithm", choices=["roadpart", "blq", "ble",
+                                               "hull"],
+                       default="roadpart",
+                       help="default algorithm when a request names"
+                            " none")
+    serve.add_argument("--engine", choices=["flat", "dict"],
+                       default="flat")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8180,
+                       help="listen port (0 picks an ephemeral port,"
+                            " printed on the startup line)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU result-cache entries (0 disables"
+                            " caching)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request budget; requests may"
+                            " override")
+    serve.add_argument("--fallback", default=None,
+                       help="default fallback cascade (comma-separated;"
+                            " empty string disables)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    index_cmd = sub.add_parser("index",
+                               help="inspect and convert RoadPart index"
+                                    " files")
+    index_sub = index_cmd.add_subparsers(dest="index_command",
+                                         required=True)
+    convert = index_sub.add_parser(
+        "convert", help="translate between the JSON and binary (mmap)"
+                        " index layouts")
+    convert.add_argument("--graph", required=True)
+    convert.add_argument("--coords", required=True)
+    convert.add_argument("--in", required=True,
+                         help="source index (either format)")
+    convert.add_argument("--out", required=True)
+    convert.add_argument("--format", choices=["auto", "bin", "json"],
+                         default="auto",
+                         help="target layout (auto: json when --out"
+                              " ends in .json, else bin)")
+    convert.set_defaults(func=_cmd_index_convert)
+    info = index_sub.add_parser(
+        "info", help="describe an index file without loading payloads")
+    info.add_argument("--in", required=True)
+    info.set_defaults(func=_cmd_index_info)
 
     return parser
 

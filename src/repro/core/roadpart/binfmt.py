@@ -1,0 +1,289 @@
+"""Compact binary RoadPart index layout, loadable zero-copy via mmap.
+
+The legacy on-disk index is JSON (``roadpart-index-v1``): simple, but a
+load parses and materialises every ``O(|V|)`` structure as Python
+objects, and every daemon worker or fork pool pays that again.  This
+module defines ``roadpart-index-bin-v1``, a sectioned little-endian
+binary layout whose large arrays are read through :mod:`mmap`:
+
+- the file's pages are shared by every process that maps it (the OS
+  page cache holds one copy per host, however many daemons serve it);
+- the ``O(|V|)`` ``region_of`` array is exposed as a ``memoryview``
+  cast straight over the mapping -- no parse, no copy, and forked
+  workers inherit the mapping itself rather than a copy-on-write heap;
+- small derived structures (region label vectors, the bridge set) are
+  materialised eagerly -- they are ``O(ℓ|R| + |bridges|)``, far below
+  ``O(|V|)``, and query code needs them as tuples/sets anyway.
+
+Layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RPIX"
+    4       4     version        u32  (currently 1)
+    8       4     flags          u32  (reserved, must be 0)
+    12      4     num_vertices   u32
+    16      4     border_count   u32  (= label dimensions, ℓ)
+    20      4     region_count   u32
+    24      4     bridge_count   u32
+    28      4     section_count  u32
+    32      ...   section table: section_count × (tag 8s, offset u64,
+                  length u64) -- offsets from file start, 8-aligned
+    ...           section payloads
+
+Sections (tags are 8 bytes, NUL-padded):
+
+    ``borders``   border_count u32 vertex ids, contour order
+    ``regionof``  num_vertices u32 region ids (vertex-indexed)
+    ``vectors``   region_count × ℓ × 2 u32 zone numbers, region-major,
+                  ``(lo, hi)`` per dimension
+    ``bridges``   bridge_count × 2 u32 endpoints, pairs sorted
+                  ascending (the same order ``to_dict`` emits)
+
+Every structural defect raises
+:class:`~repro.errors.IndexFormatError` naming the path and the
+problem, mirroring the JSON loader's contract.  Binding to the wrong
+network is the caller's check (``num_vertices`` is in the header).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexFormatError
+
+MAGIC = b"RPIX"
+VERSION = 1
+FORMAT_NAME = "roadpart-index-bin-v1"
+
+_HEADER = struct.Struct("<4sIIIIIII")
+_SECTION = struct.Struct("<8sQQ")
+_U32_MAX = 0xFFFFFFFF
+
+#: Section tags in file order.
+SECTION_TAGS = (b"borders", b"regionof", b"vectors", b"bridges")
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _u32_bytes(values) -> bytes:
+    out = bytearray()
+    for v in values:
+        if not 0 <= v <= _U32_MAX:
+            raise ValueError(f"value {v} does not fit in u32")
+        out += struct.pack("<I", v)
+    return bytes(out)
+
+
+def write_index_binary(path, num_vertices: int,
+                       border_vertex_ids: Sequence[int],
+                       region_of: Sequence[int],
+                       vectors: Sequence[Tuple[Tuple[int, int], ...]],
+                       bridges: Sequence[Tuple[int, int]]) -> None:
+    """Serialise one index's parts as a ``roadpart-index-bin-v1`` file.
+
+    ``bridges`` must already be the canonical sorted pair list (the
+    writer sorts defensively so binary and JSON agree byte-for-byte on
+    bridge order).
+    """
+    dims = len(vectors[0]) if vectors else len(border_vertex_ids)
+    flat_vectors: List[int] = []
+    for vector in vectors:
+        if len(vector) != dims:
+            raise ValueError("ragged region vectors")
+        for lo, hi in vector:
+            flat_vectors.append(lo)
+            flat_vectors.append(hi)
+    bridge_pairs = sorted(tuple(b) for b in bridges)
+    payloads = {
+        b"borders": _u32_bytes(border_vertex_ids),
+        b"regionof": _u32_bytes(region_of),
+        b"vectors": _u32_bytes(flat_vectors),
+        b"bridges": _u32_bytes(v for pair in bridge_pairs for v in pair),
+    }
+    table_offset = _HEADER.size
+    data_offset = _pad8(table_offset + _SECTION.size * len(SECTION_TAGS))
+    table = bytearray()
+    body = bytearray()
+    for tag in SECTION_TAGS:
+        payload = payloads[tag]
+        offset = data_offset + len(body)
+        table += _SECTION.pack(tag.ljust(8, b"\0"), offset, len(payload))
+        body += payload
+        body += b"\0" * (_pad8(len(payload)) - len(payload))
+    header = _HEADER.pack(MAGIC, VERSION, 0, num_vertices,
+                          len(border_vertex_ids), len(vectors),
+                          len(bridge_pairs), len(SECTION_TAGS))
+    blob = header + bytes(table)
+    blob += b"\0" * (data_offset - len(blob))
+    blob += bytes(body)
+    with open(path, "wb") as stream:
+        stream.write(blob)
+
+
+@dataclass
+class BinaryIndexHeader:
+    """The fixed header plus the section table of one binary index."""
+
+    version: int
+    num_vertices: int
+    border_count: int
+    region_count: int
+    bridge_count: int
+    sections: Dict[bytes, Tuple[int, int]]  #: tag -> (offset, length)
+
+
+@dataclass
+class BinaryIndexPayload:
+    """Everything :func:`read_index_binary` hands back.
+
+    ``region_of`` is a ``memoryview`` cast over the mapping on
+    little-endian hosts (zero-copy; indexing and iteration behave like
+    a list of ints).  ``mapping`` must stay referenced for as long as
+    any view into it lives -- callers stash it on the index object.
+    """
+
+    header: BinaryIndexHeader
+    border_vertex_ids: List[int]
+    region_of: Sequence[int]
+    vectors: List[Tuple[Tuple[int, int], ...]]
+    bridges: List[Tuple[int, int]]
+    mapping: object
+
+
+def sniff_binary(path) -> bool:
+    """True when ``path`` starts with the binary index magic."""
+    try:
+        with open(path, "rb") as stream:
+            return stream.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def read_header(path,
+                data: Optional[memoryview] = None) -> BinaryIndexHeader:
+    """Parse and validate the header + section table of ``path``.
+
+    ``data`` (the full mapped file) is optional; without it the bytes
+    are read directly -- ``repro index info`` uses this to describe a
+    file without touching its payload sections.
+    """
+    if data is None:
+        with open(path, "rb") as stream:
+            raw = stream.read(_HEADER.size + _SECTION.size * 16)
+        size = os.path.getsize(path)
+    else:
+        raw = bytes(data[:_HEADER.size + _SECTION.size * 16])
+        size = len(data)
+    if len(raw) < _HEADER.size:
+        raise IndexFormatError(
+            f"{path}: truncated header ({len(raw)} bytes, need"
+            f" {_HEADER.size})")
+    (magic, version, flags, num_vertices, border_count, region_count,
+     bridge_count, section_count) = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise IndexFormatError(
+            f"{path}: not a binary RoadPart index (magic {magic!r},"
+            f" expected {MAGIC!r})")
+    if version != VERSION:
+        raise IndexFormatError(
+            f"{path}: unsupported binary index version {version}"
+            f" (this build reads version {VERSION})")
+    if flags != 0:
+        raise IndexFormatError(
+            f"{path}: reserved flags field is {flags:#x}, expected 0")
+    if section_count < len(SECTION_TAGS) or section_count > 64:
+        raise IndexFormatError(
+            f"{path}: implausible section count {section_count}")
+    table_end = _HEADER.size + _SECTION.size * section_count
+    if len(raw) < table_end:
+        raise IndexFormatError(
+            f"{path}: truncated section table ({len(raw)} bytes, need"
+            f" {table_end})")
+    sections: Dict[bytes, Tuple[int, int]] = {}
+    for i in range(section_count):
+        tag, offset, length = _SECTION.unpack_from(
+            raw, _HEADER.size + _SECTION.size * i)
+        tag = tag.rstrip(b"\0")
+        if offset + length > size:
+            raise IndexFormatError(
+                f"{path}: section {tag.decode('ascii', 'replace')!r}"
+                f" runs past end of file"
+                f" (offset {offset} + length {length} > {size})")
+        if length % 4:
+            raise IndexFormatError(
+                f"{path}: section {tag.decode('ascii', 'replace')!r}"
+                f" length {length} is not a multiple of 4")
+        sections[tag] = (offset, length)
+    missing = [t for t in SECTION_TAGS if t not in sections]
+    if missing:
+        raise IndexFormatError(
+            f"{path}: missing sections:"
+            f" {', '.join(t.decode('ascii') for t in missing)}")
+    return BinaryIndexHeader(version, num_vertices, border_count,
+                             region_count, bridge_count, sections)
+
+
+def _u32_view(path, data: memoryview, tag: bytes, offset: int,
+              length: int, expected: int) -> Sequence[int]:
+    if length != expected * 4:
+        raise IndexFormatError(
+            f"{path}: section {tag.decode('ascii')!r} holds"
+            f" {length // 4} u32s, header implies {expected}")
+    view = data[offset:offset + length]
+    if sys.byteorder == "little":
+        return view.cast("I")
+    # Big-endian host: one byte-swapped copy (correctness over zero-copy
+    # on the rare platform where the layout is foreign).
+    import array
+    arr = array.array("I", view.tobytes())
+    arr.byteswap()
+    return arr
+
+
+def read_index_binary(path) -> BinaryIndexPayload:
+    """mmap ``path`` and decode it into index parts.
+
+    The ``regionof`` section -- the only ``O(|V|)`` payload -- stays a
+    view over the mapping; everything else is materialised as the small
+    Python structures query code consumes.
+    """
+    with open(path, "rb") as stream:
+        if os.path.getsize(path) == 0:
+            raise IndexFormatError(f"{path}: empty file")
+        mapped = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+    data = memoryview(mapped)
+    header = read_header(path, data)
+    off, length = header.sections[b"borders"]
+    borders = list(_u32_view(path, data, b"borders", off, length,
+                             header.border_count))
+    off, length = header.sections[b"regionof"]
+    region_of = _u32_view(path, data, b"regionof", off, length,
+                          header.num_vertices)
+    off, length = header.sections[b"vectors"]
+    flat = _u32_view(path, data, b"vectors", off, length,
+                     header.region_count * header.border_count * 2)
+    dims = header.border_count
+    vectors: List[Tuple[Tuple[int, int], ...]] = []
+    for r in range(header.region_count):
+        base = r * dims * 2
+        vectors.append(tuple((flat[base + 2 * d], flat[base + 2 * d + 1])
+                             for d in range(dims)))
+    off, length = header.sections[b"bridges"]
+    flat_bridges = _u32_view(path, data, b"bridges", off, length,
+                             header.bridge_count * 2)
+    bridges = [(flat_bridges[2 * i], flat_bridges[2 * i + 1])
+               for i in range(header.bridge_count)]
+    bad = max(region_of, default=0)
+    if header.region_count and bad >= header.region_count:
+        raise IndexFormatError(
+            f"{path}: region id {bad} out of range"
+            f" (region_count {header.region_count})")
+    return BinaryIndexPayload(header, borders, region_of, vectors,
+                              bridges, mapped)

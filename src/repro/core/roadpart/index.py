@@ -10,9 +10,23 @@ Construction (Section IV-B + V-A), ``O(ℓ²|V|log|V|)`` total:
 5. keep, per vertex, only its region id and, per region, its full label
    vector.
 
-The index is independent of any query; it can be serialised to JSON and
+The index is independent of any query; it can be serialised and
 reloaded against the same network (the server-side artefact of the
-paper's deployment story).
+paper's deployment story).  Two on-disk formats coexist:
+
+- the legacy JSON layout (``roadpart-index-v1``, :meth:`save` /
+  :meth:`load`) -- human-inspectable, parsed in full on load;
+- the compact binary layout (``roadpart-index-bin-v1``,
+  :meth:`save_binary` / :meth:`load_binary`, spec in
+  :mod:`repro.core.roadpart.binfmt`) -- mmap-loaded so the ``O(|V|)``
+  ``region_of`` array is a zero-copy view over shared pages; the
+  serving daemon and fork workers all read the same physical memory.
+
+:meth:`load_auto` sniffs the magic bytes and dispatches, so every
+consumer (CLI, daemon, benches) accepts either file; ``repro index
+convert`` translates between them.  Loads of both formats produce
+indexes whose query answers are byte-identical (pinned by
+``tests/core/roadpart/test_binary_index.py``).
 """
 
 from __future__ import annotations
@@ -92,11 +106,13 @@ class RoadPartIndex:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict:
+        # list() also materialises the memoryview-backed region_of of an
+        # mmap-loaded index, so binary -> JSON conversion round-trips.
         return {
             "format": "roadpart-index-v1",
             "num_vertices": self.network.num_vertices,
-            "border_vertex_ids": self.border_vertex_ids,
-            "region_of": self.regions.region_of,
+            "border_vertex_ids": list(self.border_vertex_ids),
+            "region_of": list(self.regions.region_of),
             "region_vectors": [[list(label) for label in vector]
                                for vector in self.regions.vectors],
             "bridges": sorted(list(k) for k in self.bridges),
@@ -153,6 +169,54 @@ class RoadPartIndex:
         except (IndexError, TypeError) as exc:
             raise IndexFormatError(
                 f"{path}: malformed index payload ({exc})") from exc
+
+    # -- binary (mmap) format ------------------------------------------
+
+    def save_binary(self, path: Union[str, os.PathLike]) -> None:
+        """Write the compact ``roadpart-index-bin-v1`` layout (see
+        :mod:`repro.core.roadpart.binfmt` for the byte-level spec)."""
+        from repro.core.roadpart import binfmt
+        binfmt.write_index_binary(
+            path, self.network.num_vertices,
+            list(self.border_vertex_ids),
+            list(self.regions.region_of),
+            list(self.regions.vectors),
+            sorted(tuple(k) for k in self.bridges))
+
+    @classmethod
+    def load_binary(cls, path: Union[str, os.PathLike],
+                    network: RoadNetwork) -> "RoadPartIndex":
+        """mmap a binary index and bind it to ``network``.
+
+        The vertex→region array is a zero-copy view over the mapping
+        (shared pages across processes); answers are byte-identical to
+        a legacy JSON load of the same index.  Raises
+        :class:`~repro.errors.IndexFormatError` for structural defects
+        and :class:`ValueError` for a network mismatch, exactly like
+        :meth:`load`.
+        """
+        from repro.core.roadpart import binfmt
+        payload = binfmt.read_index_binary(path)
+        if payload.header.num_vertices != network.num_vertices:
+            raise ValueError(
+                f"index built for {payload.header.num_vertices}"
+                f" vertices, network has {network.num_vertices}")
+        regions = RegionSet(payload.region_of, payload.vectors)
+        bridges = frozenset((u, v) for u, v in payload.bridges)
+        index = cls(network, payload.border_vertex_ids, regions, bridges)
+        # The memoryviews above alias the mapping; keep it alive for
+        # exactly as long as the index is.
+        index._mmap_keepalive = payload.mapping
+        return index
+
+    @classmethod
+    def load_auto(cls, path: Union[str, os.PathLike],
+                  network: RoadNetwork) -> "RoadPartIndex":
+        """Load either on-disk format, sniffed by magic bytes."""
+        from repro.core.roadpart import binfmt
+        if binfmt.sniff_binary(path):
+            return cls.load_binary(path, network)
+        return cls.load(path, network)
 
 
 def build_index(network: RoadNetwork, border_count: int,

@@ -11,9 +11,14 @@ rather than pattern-match message strings:
   cheaper algorithms before reporting a failure.
 - :class:`IndexFormatError` -- a RoadPart index file on disk is corrupt,
   stale, or not an index file at all.  Raised by
-  :meth:`repro.core.roadpart.index.RoadPartIndex.load` with the path and
-  the specific defect, instead of leaking a raw ``json.JSONDecodeError``
-  or ``KeyError``.
+  :meth:`repro.core.roadpart.index.RoadPartIndex.load` (JSON) and the
+  binary/mmap loader in :mod:`repro.core.roadpart.binfmt` with the path
+  and the specific defect, instead of leaking a raw
+  ``json.JSONDecodeError``, ``struct.error`` or ``KeyError``.
+- :class:`RequestValidationError` -- a serving-daemon request is
+  malformed (bad JSON, unknown algorithm, vertex ids outside the
+  network).  The daemon maps it to HTTP 400 with a structured error
+  body; everything else surfacing from query execution is a 5xx.
 - ``repro.serve.faults.InjectedFault`` -- a deterministic test-only
   fault (defined next to the injection hooks, not here, so importing
   the error taxonomy never pulls in the serving layer).
@@ -41,5 +46,16 @@ class IndexFormatError(ValueError):
 
     Subclasses :class:`ValueError` so pre-existing callers that caught
     the old untyped errors keep working; the message always names the
-    offending path and what is wrong with it.
+    offending path and what is wrong with it.  Raised for both on-disk
+    layouts (legacy JSON and the binary mmap format).
+    """
+
+
+class RequestValidationError(ValueError):
+    """A daemon request failed validation before any query ran.
+
+    Raised while decoding ``POST /query`` bodies (not-JSON payloads,
+    missing/empty query sets, unknown algorithm or fallback names,
+    vertex ids outside the network) so the HTTP layer can answer 400
+    and keep 5xx statuses meaning "the query itself failed".
     """

@@ -9,7 +9,10 @@ Three layers, cheapest first:
   (phase timings + counters + result measures) every DPS entry point
   accepts via ``stats=``;
 - :mod:`repro.obs.trace` -- :class:`TraceRecorder`, nested spans for the
-  RoadPart index build (``build_index(..., trace=...)``).
+  RoadPart index build (``build_index(..., trace=...)``);
+- :mod:`repro.obs.export` -- Prometheus-text rendering/parsing and the
+  percentile helper behind the daemon's ``/metrics`` endpoint and the
+  open-loop latency bench.
 
 All three are default-off: when the caller passes nothing, the
 ``NULL_*`` no-op singletons keep the instrumented code paths
@@ -23,6 +26,7 @@ from repro.obs.counters import (
     SearchCounters,
     field_names,
 )
+from repro.obs.export import parse_metrics, percentile, render_metrics
 from repro.obs.stats import NULL_STATS, NullQueryStats, QueryStats, resolve_stats
 from repro.obs.trace import (
     NULL_TRACE,
@@ -44,6 +48,9 @@ __all__ = [
     "Span",
     "TraceRecorder",
     "field_names",
+    "parse_metrics",
+    "percentile",
+    "render_metrics",
     "resolve_stats",
     "resolve_trace",
 ]

@@ -88,10 +88,16 @@ DEFAULT_FALLBACK: Dict[str, Tuple[str, ...]] = {
 }
 
 #: Extras that are additive event counts: summing them across a batch is
-#: meaningful (total examined bridges, total SSSP rounds, ...).
+#: meaningful (total examined bridges, total SSSP rounds, ...).  The
+#: ``cache_*`` trio comes from the serving daemon's result cache: hits
+#: and evictions are events, so merged stats that carry them must sum
+#: them -- never aggregate them as min/max/mean gauges (a cache hit
+#: contributes *no* phase timings or engine counters; ``cache_hits`` is
+#: the honest record of the answers the merged totals do not cover).
 COUNT_EXTRAS = frozenset({
     "b", "bv", "border", "sssp_rounds", "regions_kept", "query_regions",
     "refined", "failures", "fallbacks", "retries",
+    "cache_hits", "cache_misses", "cache_evictions",
 })
 
 #: Extras that *identify* rather than measure (vertex ids); any
@@ -159,27 +165,35 @@ class BatchOutcome:
         return len(self.results) / self.seconds
 
 
-def merge_query_stats(stats_list: Iterable[QueryStats]) -> QueryStats:
-    """Sum per-query stats into one batch-level :class:`QueryStats`.
+class StatsAccumulator:
+    """Incrementally merge per-query stats into one running total.
 
-    Phase seconds, counters, ``seconds`` and ``result_size``
-    accumulate.  Extras split three ways:
+    The long-lived daemon cannot hold every request's
+    :class:`QueryStats` and re-merge on each ``/metrics`` scrape, so
+    this class keeps the merge *state* -- summed phases/counters plus
+    per-gauge ``(count, sum, min, max)`` -- and lets callers
+    :meth:`add` one query at a time and :meth:`snapshot` the merged
+    view whenever asked.  :func:`merge_query_stats` is now a one-shot
+    wrapper over it, so batch driver and daemon share one set of
+    aggregation rules.
 
-    - **counts** (:data:`COUNT_EXTRAS`: ``b``, ``bv``, ``border``,
-      ``sssp_rounds``, ...) sum, so e.g. the merged ``b`` is the
-      batch's total examined bridges;
-    - **identities** (:data:`IDENTITY_EXTRAS`: ``center_vertex``) are
-      dropped -- a sum of vertex ids means nothing;
-    - everything else numeric is a **gauge** (e.g. BL-E's ``radius``)
-      and aggregates as ``<key>_min`` / ``<key>_max`` / ``<key>_mean``
-      instead of a misleading sum.
-
-    ``algorithm``/``network_size`` are taken from the inputs (identical
-    across a batch by construction).
+    The cached-answer rule lives *outside* this class by design: a
+    cache hit ran no phases and no searches, so the daemon must **not**
+    call :meth:`add` for it -- re-summing the stored stats would
+    double-count work that never happened.  Hits are recorded in the
+    separate ``cache_hits`` counter (a :data:`COUNT_EXTRAS` member, so
+    any downstream merge keeps summing it honestly).
     """
-    merged = QueryStats()
-    gauges: Dict[str, List[float]] = {}
-    for qs in stats_list:
+
+    def __init__(self) -> None:
+        self._merged = QueryStats()
+        #: gauge key -> [count, sum, min, max]
+        self._gauges: Dict[str, List[float]] = {}
+        self.count = 0  #: queries accumulated
+
+    def add(self, qs: QueryStats) -> None:
+        """Fold one computed query's stats into the running totals."""
+        merged = self._merged
         merged.algorithm = qs.algorithm or merged.algorithm
         merged.seconds += qs.seconds
         for label, secs in qs.phases.items():
@@ -195,12 +209,58 @@ def merge_query_stats(stats_list: Iterable[QueryStats]) -> QueryStats:
             if key in COUNT_EXTRAS:
                 merged.extras[key] = merged.extras.get(key, 0) + value
             else:
-                gauges.setdefault(key, []).append(float(value))
-    for key, values in gauges.items():
-        merged.extras[f"{key}_min"] = min(values)
-        merged.extras[f"{key}_max"] = max(values)
-        merged.extras[f"{key}_mean"] = sum(values) / len(values)
-    return merged
+                state = self._gauges.get(key)
+                value = float(value)
+                if state is None:
+                    self._gauges[key] = [1, value, value, value]
+                else:
+                    state[0] += 1
+                    state[1] += value
+                    state[2] = min(state[2], value)
+                    state[3] = max(state[3], value)
+        self.count += 1
+
+    def snapshot(self) -> QueryStats:
+        """Return an independent merged :class:`QueryStats` (safe for
+        the caller to annotate further)."""
+        merged = self._merged
+        out = QueryStats(algorithm=merged.algorithm,
+                         seconds=merged.seconds,
+                         phases=dict(merged.phases),
+                         result_size=merged.result_size,
+                         network_size=merged.network_size,
+                         extras=dict(merged.extras))
+        out.counters.merge(merged.counters)
+        for key, (count, total, low, high) in self._gauges.items():
+            out.extras[f"{key}_min"] = low
+            out.extras[f"{key}_max"] = high
+            out.extras[f"{key}_mean"] = total / count
+        return out
+
+
+def merge_query_stats(stats_list: Iterable[QueryStats]) -> QueryStats:
+    """Sum per-query stats into one batch-level :class:`QueryStats`.
+
+    Phase seconds, counters, ``seconds`` and ``result_size``
+    accumulate.  Extras split three ways:
+
+    - **counts** (:data:`COUNT_EXTRAS`: ``b``, ``bv``, ``border``,
+      ``sssp_rounds``, ``cache_hits``, ...) sum, so e.g. the merged
+      ``b`` is the batch's total examined bridges;
+    - **identities** (:data:`IDENTITY_EXTRAS`: ``center_vertex``) are
+      dropped -- a sum of vertex ids means nothing;
+    - everything else numeric is a **gauge** (e.g. BL-E's ``radius``)
+      and aggregates as ``<key>_min`` / ``<key>_max`` / ``<key>_mean``
+      instead of a misleading sum.
+
+    ``algorithm``/``network_size`` are taken from the inputs (identical
+    across a batch by construction).  Stats for *cached* answers must
+    not be passed here at all -- see :class:`StatsAccumulator`.
+    """
+    acc = StatsAccumulator()
+    for qs in stats_list:
+        acc.add(qs)
+    return acc.snapshot()
 
 
 def _dispatch(algorithm: str, network: RoadNetwork,

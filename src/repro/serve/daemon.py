@@ -1,0 +1,513 @@
+"""Long-lived DPS query daemon: HTTP serving over a warm index.
+
+``repro.serve.run_queries`` answers one batch and exits -- every
+invocation re-reads the network, re-parses the index and throws away
+its warm scratch arenas.  This module keeps all of that resident:
+
+- the :class:`RoadPartIndex` is loaded **once** (ideally from the
+  binary mmap layout of :mod:`repro.core.roadpart.binfmt`, so several
+  daemon processes on one host -- or fork workers -- share the index
+  pages through the OS page cache, zero-copy);
+- the network's CSR arrays and the arena pool are built at startup and
+  stay warm, so steady-state queries allocate nothing;
+- each request runs through the same deadline/fallback/fault machinery
+  as the batch driver (``_answer_one``), so the PR 4 semantics --
+  budgets, graceful degradation, structured failures, deterministic
+  injection -- hold per HTTP request too;
+- deterministic answers are cached by
+  :class:`~repro.serve.cache.ResultCache` keyed on the canonicalized
+  ``(algorithm, S, T, engine, deadline, fallback)``; a hit returns the
+  *same bytes* a computation would (the cache stores the canonical
+  serialised body).
+
+Endpoints (full request/response contracts in docs/serving.md):
+
+``POST /query``
+    JSON body ``{"algorithm": ..., "Q": [...]}`` (or ``"S"``/``"T"``),
+    optional ``"deadline_ms"`` / ``"fallback"``.  200 with the answer
+    body on success (``X-Repro-Cache: hit|miss`` tells you which path
+    answered), 400 for malformed requests, 504 for an exhausted
+    deadline cascade, 500 for any other query failure.
+``GET /healthz``
+    Liveness + a small status document.
+``GET /metrics``
+    Prometheus-text counters: request/failure/fallback totals, cache
+    hit/miss/eviction counters, latency quantiles over a recent
+    window, and the merged :mod:`repro.obs` engine counters of every
+    *computed* answer (cache hits deliberately contribute nothing but
+    ``repro_cache_hits_total`` -- see
+    :class:`~repro.serve.StatsAccumulator`).
+
+Concurrency: the HTTP layer is ``ThreadingHTTPServer`` (one thread per
+connection, stdlib); query *compute* is serialised by a lock because
+the scratch-arena pool is per-process state and pure-Python compute
+holds the GIL anyway.  Cache hits bypass the lock entirely.  Scale-out
+is processes, not threads: several daemons behind any TCP balancer,
+sharing one mmap-loaded index.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dps import DPSQuery, DPSResult
+from repro.core.roadpart.index import RoadPartIndex
+from repro.errors import RequestValidationError
+from repro.graph.network import RoadNetwork
+from repro.obs.export import percentile, render_metrics
+from repro.obs.stats import QueryStats
+from repro.serve import (
+    ALGORITHMS,
+    DEFAULT_FALLBACK,
+    QueryFailure,
+    StatsAccumulator,
+    _answer_one,
+)
+from repro.serve.cache import ResultCache, canonical_key
+from repro.serve.faults import FaultPlan
+
+#: Latency samples kept for the /metrics quantiles (a recent window,
+#: not daemon-lifetime history; count/sum cover the lifetime).
+LATENCY_WINDOW = 2048
+
+#: The quantiles /metrics exposes.
+LATENCY_QUANTILES = (50.0, 95.0, 99.0)
+
+#: ``# TYPE`` declarations for the exposition.
+_METRIC_TYPES = {
+    "repro_uptime_seconds": "gauge",
+    "repro_requests_total": "counter",
+    "repro_rejected_total": "counter",
+    "repro_failures_total": "counter",
+    "repro_fallbacks_total": "counter",
+    "repro_cache_hits_total": "counter",
+    "repro_cache_misses_total": "counter",
+    "repro_cache_evictions_total": "counter",
+    "repro_cache_size": "gauge",
+    "repro_request_latency_seconds": "summary",
+    "repro_computed_seconds_total": "counter",
+    "repro_phase_seconds_total": "counter",
+}
+
+
+@dataclass
+class _Request:
+    """One validated /query request."""
+
+    algorithm: str
+    query: DPSQuery
+    deadline_ms: Optional[float]
+    fallback: Tuple[str, ...]
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return (self.deadline_ms / 1000.0
+                if self.deadline_ms is not None else None)
+
+
+def _canonical_body(result: DPSResult,
+                    fallback_used: Optional[str]) -> bytes:
+    """Serialise one answer as canonical bytes.
+
+    Sorted keys, sorted vertices, no whitespace, no timings -- the body
+    is a pure function of the canonical query key, which is what makes
+    cached and computed responses byte-identical.
+    """
+    payload = {
+        "algorithm": result.algorithm,
+        "fallback_used": fallback_used,
+        "size": result.size,
+        "vertices": sorted(result.vertices),
+    }
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("ascii")
+
+
+class DPSDaemon:
+    """The serving daemon's state and lifecycle.
+
+    Construct with a network (and an index for RoadPart), then either
+    :meth:`start` a background serving thread (tests, the arrival-rate
+    bench) or let the CLI drive :meth:`start`/``wait``/:meth:`stop`
+    around signal handlers.  ``faults`` threads a deterministic
+    :class:`FaultPlan` into request handling, keyed by request sequence
+    number -- the HTTP equivalent of ``bench throughput --inject``
+    (``die_at`` is inert in-process by its parent-pid guard; use
+    ``raise_at``/``delay_at``).
+    """
+
+    def __init__(self, network: RoadNetwork,
+                 index: Optional[RoadPartIndex] = None, *,
+                 algorithm: str = "roadpart",
+                 engine: str = "flat",
+                 deadline_ms: Optional[float] = None,
+                 fallback: Optional[Sequence[str]] = None,
+                 cache_size: int = 256,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 faults: Optional[FaultPlan] = None,
+                 verbose: bool = False) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from"
+                f" {ALGORITHMS}")
+        if algorithm == "roadpart" and index is None:
+            raise ValueError("algorithm 'roadpart' needs index=")
+        self.network = network
+        self.index = index
+        self.algorithm = algorithm
+        self.engine = engine
+        self.deadline_ms = deadline_ms
+        self.default_fallback: Optional[Tuple[str, ...]] = (
+            tuple(fallback) if fallback is not None else None)
+        self.cache = ResultCache(cache_size)
+        self.faults = faults
+        self.verbose = verbose
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._compute_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._seq = 0
+        self.requests_total = 0
+        self.rejected_total = 0
+        self.failures_total = 0
+        self.fallbacks_total = 0
+        self._latency_window: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._latency_count = 0
+        self._latency_sum = 0.0
+        self._accumulator = StatsAccumulator()
+        self._started_at = time.monotonic()
+        # Warm start: CSR arrays + arena pool exist before the first
+        # request, so steady-state queries allocate nothing.
+        network.csr()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("daemon not started")
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind the socket and serve from a background thread; returns
+        the bound port (request ``port=0`` for an ephemeral one)."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        server = ThreadingHTTPServer((self._host, self._requested_port),
+                                     _Handler)
+        server.daemon_threads = True
+        server.dps_daemon = self  # type: ignore[attr-defined]
+        self._server = server
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="repro-serve",
+                                        daemon=True)
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight
+        handlers, close the socket.  Idempotent."""
+        server, thread = self._server, self._thread
+        if server is None:
+            return
+        self._server = None
+        self._thread = None
+        server.shutdown()
+        server.server_close()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+
+    # -- request validation -------------------------------------------
+
+    def parse_request(self, body: bytes) -> _Request:
+        """Decode and validate one /query body.
+
+        Raises :class:`~repro.errors.RequestValidationError` for every
+        defect, with a message that names the offending field.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestValidationError(
+                f"request body is not valid JSON ({exc})") from exc
+        if not isinstance(payload, dict):
+            raise RequestValidationError(
+                f"request body must be a JSON object, got"
+                f" {type(payload).__name__}")
+        algorithm = payload.get("algorithm", self.algorithm)
+        if algorithm not in ALGORITHMS:
+            raise RequestValidationError(
+                f"unknown algorithm {algorithm!r}; choose from"
+                f" {ALGORITHMS}")
+        if algorithm == "roadpart" and self.index is None:
+            raise RequestValidationError(
+                "algorithm 'roadpart' needs a daemon started with an"
+                " index")
+        query = self._parse_query_sets(payload)
+        try:
+            query.validate_against(self.network)
+        except ValueError as exc:
+            raise RequestValidationError(str(exc)) from exc
+        deadline_ms = payload.get("deadline_ms", self.deadline_ms)
+        if deadline_ms is not None:
+            if (isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, (int, float))
+                    or deadline_ms <= 0):
+                raise RequestValidationError(
+                    f"deadline_ms must be a positive number, got"
+                    f" {deadline_ms!r}")
+        raw_fallback = payload.get("fallback")
+        if raw_fallback is None:
+            if self.default_fallback is not None:
+                fallback = self.default_fallback
+            else:
+                fallback = (DEFAULT_FALLBACK[algorithm]
+                            if deadline_ms is not None else ())
+        else:
+            if (not isinstance(raw_fallback, list)
+                    or not all(isinstance(n, str) for n in raw_fallback)):
+                raise RequestValidationError(
+                    "fallback must be a list of algorithm names")
+            fallback = tuple(raw_fallback)
+        for name in fallback:
+            if name not in ALGORITHMS:
+                raise RequestValidationError(
+                    f"unknown fallback algorithm {name!r}; choose from"
+                    f" {ALGORITHMS}")
+            if name == "roadpart" and self.index is None:
+                raise RequestValidationError(
+                    "fallback 'roadpart' needs a daemon started with"
+                    " an index")
+        return _Request(algorithm, query, deadline_ms, fallback)
+
+    def _parse_query_sets(self, payload: Dict) -> DPSQuery:
+        def id_list(key: str) -> List[int]:
+            raw = payload.get(key)
+            if (not isinstance(raw, list) or not raw
+                    or not all(isinstance(v, int)
+                               and not isinstance(v, bool)
+                               for v in raw)):
+                raise RequestValidationError(
+                    f"{key!r} must be a non-empty list of vertex ids")
+            return raw
+
+        has_q = "Q" in payload
+        has_st = "S" in payload or "T" in payload
+        if has_q and has_st:
+            raise RequestValidationError(
+                "pass either 'Q' or 'S'+'T', not both")
+        if has_q:
+            return DPSQuery.q_query(id_list("Q"))
+        if "S" in payload and "T" in payload:
+            return DPSQuery.st_query(id_list("S"), id_list("T"))
+        raise RequestValidationError(
+            "request needs a query: 'Q' for Q-DPS or both 'S' and 'T'")
+
+    # -- request execution --------------------------------------------
+
+    def handle_query(self, body: bytes,
+                     ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Answer one /query body: ``(status, response_bytes, headers)``.
+
+        This is the whole request pipeline minus the socket, so tests
+        and the HTTP handler share it verbatim.
+        """
+        started = time.perf_counter()
+        try:
+            request = self.parse_request(body)
+        except RequestValidationError as exc:
+            with self._metrics_lock:
+                self.rejected_total += 1
+            error = {"error": {"type": "RequestValidationError",
+                               "message": str(exc)}}
+            return 400, _json_bytes(error), {}
+        key = canonical_key(request.algorithm, request.query,
+                            engine=self.engine,
+                            deadline_ms=request.deadline_ms,
+                            fallback=request.fallback)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._note_request(time.perf_counter() - started)
+            return 200, cached, {"X-Repro-Cache": "hit"}
+        with self._compute_lock:
+            seq = self._seq
+            self._seq += 1
+            result, qstats, used = _answer_one(
+                request.algorithm, self.network, self.index,
+                request.query, self.engine, True,
+                deadline_s=request.deadline_s,
+                fallback=request.fallback,
+                faults=self.faults, qindex=seq)
+        latency = time.perf_counter() - started
+        if isinstance(result, QueryFailure):
+            self._note_request(latency, failure=True)
+            status = 504 if result.error_type == "DeadlineExceeded" else 500
+            error = {"error": {"type": result.error_type,
+                               "message": result.message,
+                               "algorithm": result.algorithm,
+                               "elapsed": result.elapsed}}
+            return status, _json_bytes(error), {"X-Repro-Cache": "miss"}
+        body_bytes = _canonical_body(result, used)
+        self.cache.put(key, body_bytes)
+        self._note_request(latency, qstats=qstats,
+                           fell_back=used is not None)
+        return 200, body_bytes, {"X-Repro-Cache": "miss"}
+
+    def _note_request(self, latency: float, *,
+                      qstats: Optional[QueryStats] = None,
+                      failure: bool = False,
+                      fell_back: bool = False) -> None:
+        with self._metrics_lock:
+            self.requests_total += 1
+            self.failures_total += int(failure)
+            self.fallbacks_total += int(fell_back)
+            self._latency_window.append(latency)
+            self._latency_count += 1
+            self._latency_sum += latency
+            if qstats is not None:
+                # Computed answers only: a cache hit ran no phases and
+                # no searches, so it must not re-sum stored counters
+                # into the merged totals (its record is
+                # repro_cache_hits_total).
+                self._accumulator.add(qstats)
+
+    # -- status documents ---------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        with self._metrics_lock:
+            requests = self.requests_total
+        return {
+            "status": "ok",
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "network_vertices": self.network.num_vertices,
+            "index_loaded": self.index is not None,
+            "uptime_seconds": round(time.monotonic() - self._started_at,
+                                    3),
+            "requests_total": requests,
+        }
+
+    def render_metrics(self) -> str:
+        """The /metrics document (Prometheus text exposition)."""
+        with self._metrics_lock:
+            window = list(self._latency_window)
+            latency_count = self._latency_count
+            latency_sum = self._latency_sum
+            merged = self._accumulator.snapshot()
+            samples: List = [
+                ("repro_uptime_seconds", None,
+                 time.monotonic() - self._started_at),
+                ("repro_requests_total", None, self.requests_total),
+                ("repro_rejected_total", None, self.rejected_total),
+                ("repro_failures_total", None, self.failures_total),
+                ("repro_fallbacks_total", None, self.fallbacks_total),
+            ]
+        cache = self.cache.counters()
+        samples += [
+            ("repro_cache_hits_total", None, cache["cache_hits"]),
+            ("repro_cache_misses_total", None, cache["cache_misses"]),
+            ("repro_cache_evictions_total", None,
+             cache["cache_evictions"]),
+            ("repro_cache_size", None, cache["cache_size"]),
+        ]
+        for q in LATENCY_QUANTILES:
+            if window:
+                samples.append(("repro_request_latency_seconds",
+                                {"quantile": f"{q / 100:g}"},
+                                percentile(window, q)))
+        samples.append(("repro_request_latency_seconds_count", None,
+                        latency_count))
+        samples.append(("repro_request_latency_seconds_sum", None,
+                        latency_sum))
+        samples.append(("repro_computed_seconds_total", None,
+                        merged.seconds))
+        types = dict(_METRIC_TYPES)
+        for name, value in merged.counters.items():
+            metric = f"repro_search_{name}_total"
+            types.setdefault(metric, "counter")
+            samples.append((metric, None, value))
+        for label, secs in merged.phases.items():
+            samples.append(("repro_phase_seconds_total",
+                            {"phase": label}, secs))
+        return render_metrics(samples, types)
+
+
+def _json_bytes(payload: Dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("ascii")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the daemon object."""
+
+    server_version = "repro-dps/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def dps(self) -> DPSDaemon:
+        return self.server.dps_daemon  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:
+        if self.dps.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _respond(self, status: int, body: bytes,
+                 headers: Optional[Dict[str, str]] = None,
+                 content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._respond(200, _json_bytes(self.dps.health()))
+        elif self.path == "/metrics":
+            self._respond(200,
+                          self.dps.render_metrics().encode("utf-8"),
+                          content_type="text/plain; version=0.0.4")
+        elif self.path == "/query":
+            self._respond(405, _json_bytes(
+                {"error": {"type": "MethodNotAllowed",
+                           "message": "/query takes POST"}}))
+        else:
+            self._respond(404, _json_bytes(
+                {"error": {"type": "NotFound",
+                           "message": f"no such endpoint {self.path}"}}))
+
+    def do_POST(self) -> None:
+        if self.path != "/query":
+            self._respond(404, _json_bytes(
+                {"error": {"type": "NotFound",
+                           "message": f"no such endpoint {self.path}"}}))
+            return
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        status, response, headers = self.dps.handle_query(body)
+        self._respond(status, response, headers)
+
+
+def serve(network: RoadNetwork, index: Optional[RoadPartIndex] = None,
+          **kwargs) -> DPSDaemon:
+    """Convenience constructor + :meth:`DPSDaemon.start` in one call."""
+    daemon = DPSDaemon(network, index, **kwargs)
+    daemon.start()
+    return daemon

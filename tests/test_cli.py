@@ -333,3 +333,64 @@ class TestDeadlineFlags:
                   "--index", str(built_index),
                   "--algorithm", "roadpart", "--batch", "2",
                   "--deadline-ms", "60000", "--fallback", "astar"])
+
+
+class TestIndexTools:
+    @pytest.fixture()
+    def built_index(self, generated_map, tmp_path):
+        out = tmp_path / "map.index.json"
+        code = main(["build-index", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--borders", "6", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_convert_round_trip(self, generated_map, built_index,
+                                tmp_path, capsys):
+        """JSON -> binary -> JSON reproduces the original file, and the
+        converted index answers queries."""
+        binary = tmp_path / "map.rpix"
+        code = main(["index", "convert", "--graph",
+                     f"{generated_map}.gr", "--coords",
+                     f"{generated_map}.co", "--in", str(built_index),
+                     "--out", str(binary)])
+        assert code == 0
+        assert "(bin:" in capsys.readouterr().out
+        back = tmp_path / "back.json"
+        code = main(["index", "convert", "--graph",
+                     f"{generated_map}.gr", "--coords",
+                     f"{generated_map}.co", "--in", str(binary),
+                     "--out", str(back)])
+        assert code == 0
+        assert "(json:" in capsys.readouterr().out
+        assert back.read_text() == built_index.read_text()
+        code = main(["query", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co",
+                     "--index", str(binary),
+                     "--algorithm", "roadpart", "--epsilon", "0.25",
+                     "--seed", "2", "--verify"])
+        assert code == 0
+
+    def test_info_both_formats(self, generated_map, built_index,
+                               tmp_path, capsys):
+        binary = tmp_path / "map.rpix"
+        assert main(["index", "convert", "--graph",
+                     f"{generated_map}.gr", "--coords",
+                     f"{generated_map}.co", "--in", str(built_index),
+                     "--out", str(binary)]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", "--in", str(binary)]) == 0
+        out = capsys.readouterr().out
+        assert "roadpart-index-bin-v1" in out
+        assert "borders (l): 6" in out
+        assert "section regionof" in out
+        assert main(["index", "info", "--in", str(built_index)]) == 0
+        out = capsys.readouterr().out
+        assert "roadpart-index-v1" in out
+        assert "borders (l): 6" in out
+
+    def test_serve_roadpart_requires_index(self, generated_map, capsys):
+        code = main(["serve", "--graph", f"{generated_map}.gr",
+                     "--coords", f"{generated_map}.co"])
+        assert code == 2
+        assert "--index" in capsys.readouterr().err

@@ -90,6 +90,32 @@ class TestObservabilityDoc:
         assert "center_vertex" in IDENTITY_EXTRAS
         assert "radius" not in COUNT_EXTRAS  # the gauge the split fixes
 
+    def test_documents_metrics_exposition(self, observability_doc):
+        """PR 6 surfaces: the daemon's /metrics families, the cache
+        counters and the accumulator must stay documented."""
+        for needle in ("/metrics", "repro_requests_total",
+                       "repro_rejected_total", "repro_failures_total",
+                       "repro_fallbacks_total", "repro_cache_hits_total",
+                       "repro_cache_misses_total",
+                       "repro_cache_evictions_total",
+                       "repro_request_latency_seconds",
+                       "repro_computed_seconds_total",
+                       "repro_phase_seconds_total", "StatsAccumulator",
+                       "render_metrics", "parse_metrics",
+                       "--arrival-rate"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
+
+    def test_documents_every_exposed_metric_family(self):
+        """Every family the daemon can emit must appear in the doc's
+        exposition table (the search families are one templated row)."""
+        from repro.serve.daemon import _METRIC_TYPES
+        doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in _METRIC_TYPES:
+            assert name in doc, (
+                f"metric family {name!r} missing from "
+                "docs/observability.md")
+
     def test_phase_labels_match_source(self):
         """The grep targets above must themselves track the code."""
         sources = {
@@ -106,11 +132,71 @@ class TestObservabilityDoc:
                     "PHASE_LABELS and docs/observability.md together")
 
 
+class TestServingDoc:
+    """docs/serving.md must keep naming the real endpoints, headers,
+    format constants, CLI surface and metric names."""
+
+    @pytest.fixture(scope="class")
+    def serving_doc(self):
+        return (REPO_ROOT / "docs" / "serving.md").read_text()
+
+    def test_documents_endpoints_and_statuses(self, serving_doc):
+        for needle in ("POST /query", "GET /healthz", "GET /metrics",
+                       "X-Repro-Cache", "400", "504", "500",
+                       "RequestValidationError", "DeadlineExceeded",
+                       "fallback_used", "deadline_ms"):
+            assert needle in serving_doc, (
+                f"{needle!r} missing from docs/serving.md")
+
+    def test_documents_binary_format(self, serving_doc):
+        from repro.core.roadpart import binfmt
+        assert binfmt.FORMAT_NAME in serving_doc
+        assert binfmt.MAGIC.decode("ascii") in serving_doc
+        for tag in binfmt.SECTION_TAGS:
+            assert f"`{tag.decode('ascii')}`" in serving_doc, (
+                f"section {tag!r} missing from docs/serving.md")
+        for needle in ("mmap", "IndexFormatError", "save_binary",
+                       "load_binary", "load_auto", "memoryview"):
+            assert needle in serving_doc
+
+    def test_documents_cli_surface(self, serving_doc):
+        for needle in ("repro serve", "index convert", "index info",
+                       "--cache-size", "--deadline-ms", "--fallback",
+                       "--port", "--engine", "--arrival-rate",
+                       "SIGTERM"):
+            assert needle in serving_doc, (
+                f"{needle!r} missing from docs/serving.md")
+
+    def test_documents_cache_semantics(self, serving_doc):
+        for needle in ("ResultCache", "canonical_key", "byte",
+                       "repro_cache_hits_total", "StatsAccumulator"):
+            assert needle in serving_doc
+
+    def test_lifecycle_summary_matches_cli(self, serving_doc):
+        """The doc quotes the CLI's startup/shutdown lines; they must
+        track the real strings in repro.cli."""
+        cli = (REPO_ROOT / "src" / "repro" / "cli.py").read_text()
+        assert "serving on http://" in serving_doc
+        assert "serving on http://" in cli
+        assert "daemon stopped:" in serving_doc
+        assert "daemon stopped:" in cli
+
+
 class TestReadmeLinks:
     def test_readme_links_new_docs(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        assert "docs/architecture.md" in readme
-        assert "docs/observability.md" in readme
+        for page in ("docs/architecture.md", "docs/observability.md",
+                     "docs/algorithms.md", "docs/real_data.md",
+                     "docs/serving.md"):
+            assert page in readme, f"{page} missing from README.md"
+
+    def test_readme_serving_quickstart(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for needle in ("build-index", "index convert", "repro serve",
+                       "/query", "/healthz", "/metrics",
+                       "X-Repro-Cache"):
+            assert needle in readme, (
+                f"{needle!r} missing from the README quickstart")
 
     def test_architecture_doc_names_all_subsystems(self):
         doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
@@ -131,5 +217,13 @@ class TestReadmeLinks:
         for needle in ("QueryFailure", "DeadlineExceeded", "Deadline",
                        "FaultPlan", "BrokenProcessPool", "max_retries",
                        "deadline_ms", "fallback"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
+
+    def test_architecture_doc_covers_serving_tier(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("DPSDaemon", "binfmt", "ResultCache",
+                       "canonical_key", "mmap", "save_binary",
+                       "load_auto", "roadpart-index-bin-v1"):
             assert needle in doc, (
                 f"{needle!r} missing from docs/architecture.md")

@@ -1,0 +1,86 @@
+"""The daemon's LRU result cache: key canonicalization, LRU/eviction
+behaviour, and honest counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dps import DPSQuery
+from repro.serve.cache import ResultCache, canonical_key
+
+
+class TestCanonicalKey:
+    def test_order_independent_query_sets(self):
+        a = canonical_key("roadpart", DPSQuery.q_query([3, 1, 2]))
+        b = canonical_key("roadpart", DPSQuery.q_query([2, 3, 1]))
+        assert a == b
+
+    def test_st_sides_not_interchangeable(self):
+        st = canonical_key("blq", DPSQuery.st_query([1], [2]))
+        ts = canonical_key("blq", DPSQuery.st_query([2], [1]))
+        assert st != ts
+
+    def test_policy_is_identity(self):
+        """A deadline-capped request may be answered by a fallback
+        algorithm, so policy parameters must split the key -- a capped
+        answer can never be served to an uncapped request."""
+        query = DPSQuery.q_query([1, 2])
+        plain = canonical_key("roadpart", query)
+        capped = canonical_key("roadpart", query, deadline_ms=50.0)
+        cascaded = canonical_key("roadpart", query, deadline_ms=50.0,
+                                 fallback=("ble",))
+        other_engine = canonical_key("roadpart", query, engine="dict")
+        assert len({plain, capped, cascaded, other_engine}) == 4
+
+    def test_algorithm_is_identity(self):
+        query = DPSQuery.q_query([1, 2])
+        assert canonical_key("roadpart", query) \
+            != canonical_key("ble", query)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        key = ("k",)
+        assert cache.get(key) is None
+        cache.put(key, b"answer")
+        assert cache.get(key) == b"answer"
+        assert cache.counters() == {"cache_hits": 1, "cache_misses": 1,
+                                    "cache_evictions": 0,
+                                    "cache_size": 1}
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put(("a",), b"1")
+        cache.put(("b",), b"2")
+        assert cache.get(("a",)) == b"1"  # bump a's recency
+        cache.put(("c",), b"3")           # evicts b, the LRU entry
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == b"1"
+        assert cache.get(("c",)) == b"3"
+        assert cache.evictions == 1
+
+    def test_repeat_put_is_refresh_not_growth(self):
+        cache = ResultCache(4)
+        cache.put(("a",), b"1")
+        cache.put(("a",), b"1")
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_capacity_zero_disables_storage_keeps_counters(self):
+        cache = ResultCache(0)
+        cache.put(("a",), b"1")
+        assert cache.get(("a",)) is None
+        assert len(cache) == 0
+        assert cache.counters()["cache_misses"] == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put(("a",), b"1")
+        cache.clear()
+        assert cache.get(("a",)) is None
+        assert len(cache) == 0
