@@ -17,7 +17,7 @@ from repro.datasets.catalog import DATASETS, load_dataset
 from repro.graph.network import RoadNetwork
 from repro.obs.stats import QueryStats
 
-_index_cache: Dict[Tuple[str, int], RoadPartIndex] = {}
+_index_cache: Dict[Tuple[str, int, str], RoadPartIndex] = {}
 
 
 def dataset_network(name: str) -> RoadNetwork:
@@ -27,22 +27,26 @@ def dataset_network(name: str) -> RoadNetwork:
 
 
 def dataset_index(name: str, border_count: Optional[int] = None,
-                  ) -> RoadPartIndex:
+                  oracle: str = "auto") -> RoadPartIndex:
     """Return a (cached) RoadPart index for a catalog dataset; by default
-    with the dataset's Table I border count."""
+    with the dataset's Table I border count and the ``auto`` oracle
+    policy (the production default, so benches measure what ships).
+    The oracle policy is part of the cache key: an ``auto`` and a
+    ``none`` index differ in the oracle phase's build cost and in what
+    the query processor consults."""
     if border_count is None:
         border_count = DATASETS[name].border_count
-    key = (name, border_count)
+    key = (name, border_count, oracle)
     if key not in _index_cache:
         network = dataset_network(name)
         # Reuse the bridge set across ℓ values for the same dataset.
         bridges = None
-        for (other_name, _), other in _index_cache.items():
+        for (other_name, _, _), other in _index_cache.items():
             if other_name == name:
                 bridges = other.bridges
                 break
         _index_cache[key] = build_index(network, border_count,
-                                        bridges=bridges)
+                                        bridges=bridges, oracle=oracle)
     return _index_cache[key]
 
 

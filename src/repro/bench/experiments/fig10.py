@@ -23,7 +23,8 @@ from repro.core.roadpart.index import build_index
 @dataclass
 class Fig10Point:
     border_count: int
-    partition_seconds: float
+    partition_seconds: float   #: build time minus the oracle phase
+    oracle_seconds: float      #: the ℓ-independent oracle phase
     region_count: int
     max_region_size: int
 
@@ -33,7 +34,12 @@ def run_fig10(dataset: str = FIG10_DATASET,
     """Sweep ℓ and measure partitioning time, |R| and M.
 
     Bridges are found once outside the loop: Fig 10 measures
-    *partitioning*, and the bridge self-join is ℓ-independent.
+    *partitioning*, and the bridge self-join is ℓ-independent.  The
+    build runs with ``oracle="auto"`` -- the production default -- so
+    the full cost the shipped index pays is on record, but the oracle
+    phase is reported as its own column: it is ℓ-independent too (the
+    hubs are the bridge endpoints), and folding it into the partition
+    time would bury the ℓ trend the figure exists to show.
     """
     counts = border_counts or FIG10_BORDER_COUNTS
     network = dataset_network(dataset)
@@ -41,8 +47,11 @@ def run_fig10(dataset: str = FIG10_DATASET,
     points: List[Fig10Point] = []
     for count in counts:
         index, seconds = timed(
-            lambda c=count: build_index(network, c, bridges=bridges))
-        points.append(Fig10Point(count, seconds,
+            lambda c=count: build_index(network, c, bridges=bridges,
+                                        oracle="auto"))
+        oracle_seconds = index.stats.oracle_seconds
+        points.append(Fig10Point(count, seconds - oracle_seconds,
+                                 oracle_seconds,
                                  index.regions.region_count,
                                  index.regions.max_region_size()))
     return points

@@ -129,12 +129,17 @@ def _cmd_build_index(args) -> int:
     started = time.perf_counter()
     index = build_index(network, args.borders,
                         contour_strategy=args.contour, trace=trace,
-                        jobs=args.jobs, engine=args.engine)
+                        jobs=args.jobs, engine=args.engine,
+                        oracle=args.oracle)
     index.save(args.out)
     print(f"index built in {time.perf_counter() - started:.2f}s:"
           f" l={index.border_count}, |R|={index.regions.region_count},"
           f" bridges={len(index.bridges)},"
-          f" contour={index.stats.contour_strategy_used}", file=chat)
+          f" contour={index.stats.contour_strategy_used},"
+          f" oracle={index.stats.oracle_kind}", file=chat)
+    if index.oracle is not None:
+        print(f"oracle: {index.oracle.describe()}"
+              f" ({index.stats.oracle_seconds:.2f}s)", file=chat)
     if args.stats_json:
         print(json.dumps(trace.to_dict(), indent=2))
     elif args.stats:
@@ -189,7 +194,8 @@ def _cmd_query_batch(args, network: RoadNetwork) -> int:
                           index=index, jobs=args.jobs, engine=args.engine,
                           collect_stats=want_stats,
                           deadline_ms=args.deadline_ms, fallback=fallback,
-                          max_retries=args.max_retries)
+                          max_retries=args.max_retries,
+                          oracle=args.oracle)
     for i, result in enumerate(outcome.results):
         if isinstance(result, QueryFailure):
             print(f"[{i}] FAILED ({result.error_type}): {result.message}"
@@ -235,7 +241,7 @@ def _cmd_query(args) -> int:
             return 2
         index = RoadPartIndex.load_auto(args.index, network)
         result = roadpart_dps(index, query, stats=qstats,
-                              engine=args.engine)
+                              engine=args.engine, oracle=args.oracle)
     elif args.algorithm == "blq":
         result = bl_quality(network, query, stats=qstats,
                             engine=args.engine)
@@ -292,7 +298,7 @@ def _cmd_serve(args) -> int:
             if args.fallback else ()
     try:
         daemon = DPSDaemon(network, index, algorithm=args.algorithm,
-                           engine=args.engine,
+                           engine=args.engine, oracle=args.oracle,
                            deadline_ms=args.deadline_ms,
                            fallback=fallback,
                            cache_size=args.cache_size,
@@ -310,7 +316,7 @@ def _cmd_serve(args) -> int:
         signal.signal(signum, lambda *_: stop_event.set())
     print(f"serving on http://{args.host}:{port}"
           f" (algorithm={args.algorithm}, engine={args.engine},"
-          f" cache={args.cache_size},"
+          f" oracle={args.oracle}, cache={args.cache_size},"
           f" index={'yes' if index is not None else 'no'})",
           flush=True)
     stop_event.wait()
@@ -324,6 +330,17 @@ def _cmd_serve(args) -> int:
 def _cmd_index_convert(args) -> int:
     network = _load_network(args)
     index = RoadPartIndex.load_auto(getattr(args, "in"), network)
+    if args.oracle == "none":
+        index.oracle = None
+    elif args.oracle in ("hub", "ch"):
+        # Upgrade path: (re)build the requested oracle kind from the
+        # loaded bridges, e.g. to lift a v1 file to v2 without a full
+        # index rebuild.
+        from repro.shortestpath.oracle import build_oracle
+        index.oracle = build_oracle(network, args.oracle,
+                                    sorted(index.bridges),
+                                    region_of=index.regions.region_of)
+    # "keep": carry whatever the source file had (possibly nothing).
     fmt = args.format
     if fmt == "auto":
         fmt = "json" if args.out.endswith(".json") else "bin"
@@ -331,9 +348,10 @@ def _cmd_index_convert(args) -> int:
         index.save_binary(args.out)
     else:
         index.save(args.out)
+    oracle_kind = "none" if index.oracle is None else index.oracle.kind
     print(f"wrote {args.out} ({fmt}: l={index.border_count},"
           f" |R|={index.regions.region_count},"
-          f" bridges={len(index.bridges)})")
+          f" bridges={len(index.bridges)}, oracle={oracle_kind})")
     return 0
 
 
@@ -342,12 +360,27 @@ def _cmd_index_info(args) -> int:
     path = getattr(args, "in")
     if binfmt.sniff_binary(path):
         header = binfmt.read_header(path)
-        print(f"format:      {binfmt.FORMAT_NAME}"
+        name = (binfmt.FORMAT_NAME_V2
+                if header.version >= binfmt.VERSION_ORACLE
+                else binfmt.FORMAT_NAME)
+        print(f"format:      {name}"
               f" (version {header.version})")
         print(f"vertices:    {header.num_vertices}")
         print(f"borders (l): {header.border_count}")
         print(f"regions:     {header.region_count}")
         print(f"bridges:     {header.bridge_count}")
+        meta = binfmt.read_oracle_meta(path, header)
+        if meta is None:
+            print("oracle:      none")
+        else:
+            kind, count_a, count_b = meta
+            if kind == "hub":
+                print(f"oracle:      hub ({count_a} hubs,"
+                      f" {count_b} label entries; covers"
+                      f" (x, bridge endpoint) pairs)")
+            else:
+                print(f"oracle:      ch ({count_b} upward edges;"
+                      f" covers all pairs)")
         for tag, (offset, length) in header.sections.items():
             print(f"section {tag.decode('ascii'):<9}"
                   f" offset={offset} bytes={length}")
@@ -359,6 +392,8 @@ def _cmd_index_info(args) -> int:
     print(f"borders (l): {len(payload.get('border_vertex_ids', []))}")
     print(f"regions:     {len(payload.get('region_vectors', []))}")
     print(f"bridges:     {len(payload.get('bridges', []))}")
+    oracle = payload.get("oracle")
+    print(f"oracle:      {oracle.get('kind') if oracle else 'none'}")
     return 0
 
 
@@ -399,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--engine", choices=["flat", "dict"],
                        default="flat",
                        help="SSSP/A* kernel (identical cuts either way)")
+    build.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
+                       default="auto",
+                       help="bridge-domain distance oracle to precompute"
+                            " (auto: hub labels when the network has"
+                            " bridges; files without an oracle stay"
+                            " format v1)")
     build.add_argument("--stats", action="store_true",
                        help="print the nested build-phase trace")
     build.add_argument("--stats-json", action="store_true",
@@ -431,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="flat",
                        help="SSSP kernel (identical answers and"
                             " counters either way)")
+    query.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
+                       default="auto",
+                       help="bridge-domain oracle policy (auto: use the"
+                            " index's oracle when it carries one;"
+                            " identical DPS either way)")
     query.add_argument("--batch", type=int, default=1,
                        help="answer N window queries (seeds --seed ..."
                             " --seed+N-1) through the repro.serve batch"
@@ -468,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
                             " none")
     serve.add_argument("--engine", choices=["flat", "dict"],
                        default="flat")
+    serve.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
+                       default="auto",
+                       help="bridge-domain oracle policy; part of every"
+                            " cache key")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8180,
                        help="listen port (0 picks an ephemeral port,"
@@ -502,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="auto",
                          help="target layout (auto: json when --out"
                               " ends in .json, else bin)")
+    convert.add_argument("--oracle", choices=["keep", "none", "hub", "ch"],
+                         default="keep",
+                         help="oracle handling: keep the source's,"
+                              " strip it, or build the named kind"
+                              " (lifts a v1 file to v2)")
     convert.set_defaults(func=_cmd_index_convert)
     info = index_sub.add_parser(
         "info", help="describe an index file without loading payloads")

@@ -39,6 +39,33 @@ Sections (tags are 8 bytes, NUL-padded):
     ``bridges``   bridge_count × 2 u32 endpoints, pairs sorted
                   ascending (the same order ``to_dict`` emits)
 
+**Version 2** (``roadpart-index-bin-v2``) extends the layout with a
+distance-oracle payload (see :mod:`repro.shortestpath.oracle`).  An
+index *without* an oracle is still written as version 1, byte-identical
+to older builds; only oracle-carrying files bump the header version.
+Version-1 readers reject v2 files with a clear version error; this
+reader accepts both and hands v1 files back with ``oracle=None``.
+Oracle sections (all after the v1 base sections):
+
+    ``oracle``    4 u32 meta words: kind (1=hub, 2=ch), count_a,
+                  count_b, reserved (0).  hub: count_a=hub count,
+                  count_b=label entries; ch: count_a=num_vertices,
+                  count_b=upward edges.
+    ``orhubs``    hub: hub vertex ids, processing order (u32)
+    ``orloff``    hub: num_vertices+1 label offsets (u32, CSR)
+    ``orlhub``    hub: label hub ids, vertex-major (u32)
+    ``orldst``    hub: label distances (f64, same order)
+    ``orchrk``    ch: num_vertices contraction ranks (u32)
+    ``orchof``    ch: num_vertices+1 upward-edge offsets (u32, CSR)
+    ``orchtg``    ch: upward edge targets (u32)
+    ``orchwt``    ch: upward edge weights (f64)
+
+The f64 payloads are mmap views too (cast ``"d"``), so a daemon loads
+million-entry label sets without materialising a single Python float.
+A section tag this build does not know is a structural defect, not
+silent forward compatibility: the loader raises
+:class:`~repro.errors.IndexFormatError` naming the path and the tag.
+
 Every structural defect raises
 :class:`~repro.errors.IndexFormatError` naming the path and the
 problem, mirroring the JSON loader's contract.  Binding to the wrong
@@ -58,7 +85,10 @@ from repro.errors import IndexFormatError
 
 MAGIC = b"RPIX"
 VERSION = 1
+VERSION_ORACLE = 2
+SUPPORTED_VERSIONS = (VERSION, VERSION_ORACLE)
 FORMAT_NAME = "roadpart-index-bin-v1"
+FORMAT_NAME_V2 = "roadpart-index-bin-v2"
 
 _HEADER = struct.Struct("<4sIIIIIII")
 _SECTION = struct.Struct("<8sQQ")
@@ -66,6 +96,20 @@ _U32_MAX = 0xFFFFFFFF
 
 #: Section tags in file order.
 SECTION_TAGS = (b"borders", b"regionof", b"vectors", b"bridges")
+
+#: Oracle meta section (v2 only): kind, count_a, count_b, reserved.
+ORACLE_META_TAG = b"oracle"
+#: Hub-label oracle payload sections, file order.
+HUB_SECTION_TAGS = (b"orhubs", b"orloff", b"orlhub", b"orldst")
+#: Contraction-hierarchy oracle payload sections, file order.
+CH_SECTION_TAGS = (b"orchrk", b"orchof", b"orchtg", b"orchwt")
+#: Every section tag a v2 file may carry beyond the v1 base.
+ORACLE_SECTION_TAGS = (ORACLE_META_TAG,) + HUB_SECTION_TAGS + CH_SECTION_TAGS
+#: Oracle kind codes in the ``oracle`` meta section.
+ORACLE_KIND_CODES = {"hub": 1, "ch": 2}
+_ORACLE_KIND_NAMES = {code: kind for kind, code in ORACLE_KIND_CODES.items()}
+#: f64 payload sections (everything else is u32).
+_F64_TAGS = frozenset({b"orldst", b"orchwt"})
 
 
 def _pad8(n: int) -> int:
@@ -81,16 +125,53 @@ def _u32_bytes(values) -> bytes:
     return bytes(out)
 
 
+def _f64_bytes(values) -> bytes:
+    out = bytearray()
+    for v in values:
+        out += struct.pack("<d", v)
+    return bytes(out)
+
+
+def _oracle_sections(oracle: Dict[str, object]) -> Dict[bytes, bytes]:
+    """Flatten one oracle payload dict (the ``to_payload`` form of
+    :mod:`repro.shortestpath.oracle`) into v2 section blobs."""
+    kind = oracle["kind"]
+    code = ORACLE_KIND_CODES.get(kind)
+    if code is None:
+        raise ValueError(f"unknown oracle payload kind {kind!r}")
+    if kind == "hub":
+        meta = (code, len(oracle["hubs"]), len(oracle["label_hubs"]), 0)
+        return {
+            ORACLE_META_TAG: _u32_bytes(meta),
+            b"orhubs": _u32_bytes(oracle["hubs"]),
+            b"orloff": _u32_bytes(oracle["offsets"]),
+            b"orlhub": _u32_bytes(oracle["label_hubs"]),
+            b"orldst": _f64_bytes(oracle["label_dists"]),
+        }
+    meta = (code, len(oracle["rank"]), len(oracle["up_targets"]), 0)
+    return {
+        ORACLE_META_TAG: _u32_bytes(meta),
+        b"orchrk": _u32_bytes(oracle["rank"]),
+        b"orchof": _u32_bytes(oracle["offsets"]),
+        b"orchtg": _u32_bytes(oracle["up_targets"]),
+        b"orchwt": _f64_bytes(oracle["up_weights"]),
+    }
+
+
 def write_index_binary(path, num_vertices: int,
                        border_vertex_ids: Sequence[int],
                        region_of: Sequence[int],
                        vectors: Sequence[Tuple[Tuple[int, int], ...]],
-                       bridges: Sequence[Tuple[int, int]]) -> None:
-    """Serialise one index's parts as a ``roadpart-index-bin-v1`` file.
+                       bridges: Sequence[Tuple[int, int]],
+                       oracle: Optional[Dict[str, object]] = None) -> None:
+    """Serialise one index's parts as a binary RoadPart index file.
 
     ``bridges`` must already be the canonical sorted pair list (the
     writer sorts defensively so binary and JSON agree byte-for-byte on
-    bridge order).
+    bridge order).  Without ``oracle`` the file is written as version 1
+    -- byte-identical to pre-oracle builds; with an oracle payload dict
+    (the ``to_payload`` form) the header says version 2 and the oracle
+    sections follow the v1 base sections.
     """
     dims = len(vectors[0]) if vectors else len(border_vertex_ids)
     flat_vectors: List[int] = []
@@ -107,19 +188,28 @@ def write_index_binary(path, num_vertices: int,
         b"vectors": _u32_bytes(flat_vectors),
         b"bridges": _u32_bytes(v for pair in bridge_pairs for v in pair),
     }
+    tags: Tuple[bytes, ...] = SECTION_TAGS
+    version = VERSION
+    if oracle is not None:
+        extra = _oracle_sections(oracle)
+        payloads.update(extra)
+        kind_tags = (HUB_SECTION_TAGS if oracle["kind"] == "hub"
+                     else CH_SECTION_TAGS)
+        tags = SECTION_TAGS + (ORACLE_META_TAG,) + kind_tags
+        version = VERSION_ORACLE
     table_offset = _HEADER.size
-    data_offset = _pad8(table_offset + _SECTION.size * len(SECTION_TAGS))
+    data_offset = _pad8(table_offset + _SECTION.size * len(tags))
     table = bytearray()
     body = bytearray()
-    for tag in SECTION_TAGS:
+    for tag in tags:
         payload = payloads[tag]
         offset = data_offset + len(body)
         table += _SECTION.pack(tag.ljust(8, b"\0"), offset, len(payload))
         body += payload
         body += b"\0" * (_pad8(len(payload)) - len(payload))
-    header = _HEADER.pack(MAGIC, VERSION, 0, num_vertices,
+    header = _HEADER.pack(MAGIC, version, 0, num_vertices,
                           len(border_vertex_ids), len(vectors),
-                          len(bridge_pairs), len(SECTION_TAGS))
+                          len(bridge_pairs), len(tags))
     blob = header + bytes(table)
     blob += b"\0" * (data_offset - len(blob))
     blob += bytes(body)
@@ -155,6 +245,9 @@ class BinaryIndexPayload:
     vectors: List[Tuple[Tuple[int, int], ...]]
     bridges: List[Tuple[int, int]]
     mapping: object
+    #: Oracle payload dict (``to_payload`` form, arrays as mmap views)
+    #: for v2 files; ``None`` for v1.
+    oracle: Optional[Dict[str, object]] = None
 
 
 def sniff_binary(path) -> bool:
@@ -191,10 +284,11 @@ def read_header(path,
         raise IndexFormatError(
             f"{path}: not a binary RoadPart index (magic {magic!r},"
             f" expected {MAGIC!r})")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise IndexFormatError(
             f"{path}: unsupported binary index version {version}"
-            f" (this build reads version {VERSION})")
+            f" (this build reads versions"
+            f" {', '.join(str(v) for v in SUPPORTED_VERSIONS)})")
     if flags != 0:
         raise IndexFormatError(
             f"{path}: reserved flags field is {flags:#x}, expected 0")
@@ -221,6 +315,16 @@ def read_header(path,
                 f"{path}: section {tag.decode('ascii', 'replace')!r}"
                 f" length {length} is not a multiple of 4")
         sections[tag] = (offset, length)
+    known = set(SECTION_TAGS)
+    if version >= VERSION_ORACLE:
+        known.update(ORACLE_SECTION_TAGS)
+    unknown = [t for t in sections if t not in known]
+    if unknown:
+        names = ", ".join(repr(t.decode("ascii", "replace"))
+                          for t in unknown)
+        raise IndexFormatError(
+            f"{path}: unknown section {names} (this build understands:"
+            f" {', '.join(t.decode('ascii') for t in sorted(known))})")
     missing = [t for t in SECTION_TAGS if t not in sections]
     if missing:
         raise IndexFormatError(
@@ -245,6 +349,96 @@ def _u32_view(path, data: memoryview, tag: bytes, offset: int,
     arr = array.array("I", view.tobytes())
     arr.byteswap()
     return arr
+
+
+def _f64_view(path, data: memoryview, tag: bytes, offset: int,
+              length: int, expected: int) -> Sequence[float]:
+    if length != expected * 8:
+        raise IndexFormatError(
+            f"{path}: section {tag.decode('ascii')!r} holds"
+            f" {length // 8} f64s, header implies {expected}")
+    view = data[offset:offset + length]
+    if sys.byteorder == "little":
+        return view.cast("d")
+    import array
+    arr = array.array("d", view.tobytes())
+    arr.byteswap()
+    return arr
+
+
+def read_oracle_meta(path, header: BinaryIndexHeader,
+                     ) -> Optional[Tuple[str, int, int]]:
+    """Return ``(kind, count_a, count_b)`` from the oracle meta section
+    without touching the payload arrays (``repro index info``), or
+    ``None`` when the file carries no oracle."""
+    got = header.sections.get(ORACLE_META_TAG)
+    if got is None:
+        return None
+    offset, length = got
+    if length != 16:
+        raise IndexFormatError(
+            f"{path}: oracle meta section is {length} bytes, expected 16")
+    with open(path, "rb") as stream:
+        stream.seek(offset)
+        raw = stream.read(16)
+    code, count_a, count_b, _reserved = struct.unpack("<IIII", raw)
+    kind = _ORACLE_KIND_NAMES.get(code)
+    if kind is None:
+        raise IndexFormatError(
+            f"{path}: unknown oracle kind code {code}")
+    return kind, count_a, count_b
+
+
+def _section(path, header: BinaryIndexHeader,
+             tag: bytes) -> Tuple[int, int]:
+    got = header.sections.get(tag)
+    if got is None:
+        raise IndexFormatError(
+            f"{path}: oracle section {tag.decode('ascii')!r} missing")
+    return got
+
+
+def _read_oracle(path, data: memoryview,
+                 header: BinaryIndexHeader) -> Dict[str, object]:
+    """Decode the v2 oracle sections into the payload-dict form
+    :func:`repro.shortestpath.oracle.oracle_from_payload` accepts, with
+    the big arrays as zero-copy views over the mapping."""
+    off, length = _section(path, header, ORACLE_META_TAG)
+    meta = _u32_view(path, data, ORACLE_META_TAG, off, length, 4)
+    code, count_a, count_b, reserved = meta
+    kind = _ORACLE_KIND_NAMES.get(code)
+    if kind is None:
+        raise IndexFormatError(
+            f"{path}: unknown oracle kind code {code}")
+    if reserved != 0:
+        raise IndexFormatError(
+            f"{path}: oracle reserved word is {reserved:#x}, expected 0")
+    n = header.num_vertices
+    if kind == "hub":
+        off, length = _section(path, header, b"orhubs")
+        hubs = _u32_view(path, data, b"orhubs", off, length, count_a)
+        off, length = _section(path, header, b"orloff")
+        offsets = _u32_view(path, data, b"orloff", off, length, n + 1)
+        off, length = _section(path, header, b"orlhub")
+        label_hubs = _u32_view(path, data, b"orlhub", off, length, count_b)
+        off, length = _section(path, header, b"orldst")
+        label_dists = _f64_view(path, data, b"orldst", off, length, count_b)
+        return {"kind": "hub", "hubs": hubs, "offsets": offsets,
+                "label_hubs": label_hubs, "label_dists": label_dists}
+    if count_a != n:
+        raise IndexFormatError(
+            f"{path}: oracle rank count {count_a} does not match"
+            f" num_vertices {n}")
+    off, length = _section(path, header, b"orchrk")
+    rank = _u32_view(path, data, b"orchrk", off, length, n)
+    off, length = _section(path, header, b"orchof")
+    offsets = _u32_view(path, data, b"orchof", off, length, n + 1)
+    off, length = _section(path, header, b"orchtg")
+    targets = _u32_view(path, data, b"orchtg", off, length, count_b)
+    off, length = _section(path, header, b"orchwt")
+    weights = _f64_view(path, data, b"orchwt", off, length, count_b)
+    return {"kind": "ch", "rank": rank, "offsets": offsets,
+            "up_targets": targets, "up_weights": weights}
 
 
 def read_index_binary(path) -> BinaryIndexPayload:
@@ -285,5 +479,8 @@ def read_index_binary(path) -> BinaryIndexPayload:
         raise IndexFormatError(
             f"{path}: region id {bad} out of range"
             f" (region_count {header.region_count})")
+    oracle = None
+    if header.version >= VERSION_ORACLE and ORACLE_META_TAG in header.sections:
+        oracle = _read_oracle(path, data, header)
     return BinaryIndexPayload(header, borders, region_of, vectors,
-                              bridges, mapped)
+                              bridges, mapped, oracle)

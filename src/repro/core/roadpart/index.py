@@ -47,6 +47,12 @@ from repro.core.roadpart.parallel import fork_available, run_parallel_labeling
 from repro.core.roadpart.regions import RegionBuilder, RegionSet
 from repro.graph.network import RoadNetwork
 from repro.obs.trace import TraceRecorder, resolve_trace
+from repro.shortestpath.oracle import (
+    DistanceOracle,
+    build_oracle,
+    oracle_from_payload,
+    resolve_oracle_kind,
+)
 
 
 @dataclass
@@ -67,6 +73,10 @@ class IndexBuildStats:
     #: disconnects the border pair; non-zero weakens the zone guarantees
     #: (see repro.core.roadpart.labeling.CutCache).
     fallback_cuts: int = 0
+    #: distance-oracle construction phase (0 when oracle="none").
+    oracle_seconds: float = 0.0
+    oracle_kind: str = "none"
+    oracle_entries: int = 0
 
 
 @dataclass
@@ -85,6 +95,10 @@ class RoadPartIndex:
     bridges: FrozenSet[EdgeKey]
     contour: Optional[Contour] = None
     stats: IndexBuildStats = field(default_factory=IndexBuildStats)
+    #: Precomputed bridge-domain distance oracle (see
+    #: :mod:`repro.shortestpath.oracle`); ``None`` when built with
+    #: ``oracle="none"`` or loaded from a v1 file.
+    oracle: Optional[DistanceOracle] = None
 
     @property
     def border_count(self) -> int:
@@ -108,7 +122,7 @@ class RoadPartIndex:
     def to_dict(self) -> Dict:
         # list() also materialises the memoryview-backed region_of of an
         # mmap-loaded index, so binary -> JSON conversion round-trips.
-        return {
+        out = {
             "format": "roadpart-index-v1",
             "num_vertices": self.network.num_vertices,
             "border_vertex_ids": list(self.border_vertex_ids),
@@ -117,6 +131,16 @@ class RoadPartIndex:
                                for vector in self.regions.vectors],
             "bridges": sorted(list(k) for k in self.bridges),
         }
+        if self.oracle is not None:
+            # ``to_payload`` rebuilds plain lists from either storage
+            # (dicts or mmap views); float distances survive JSON via
+            # repr round-tripping.  Absent for oracle-less indexes, so
+            # their JSON stays byte-identical to pre-oracle builds.
+            payload = self.oracle.to_payload()
+            out["oracle"] = {k: (v if isinstance(v, (str, list))
+                                 else list(v))
+                             for k, v in payload.items()}
+        return out
 
     def save(self, path: Union[str, os.PathLike]) -> None:
         with open(path, "w", encoding="ascii") as stream:
@@ -164,24 +188,40 @@ class RoadPartIndex:
                        for vector in payload["region_vectors"]]
             regions = RegionSet(payload["region_of"], vectors)
             bridges = frozenset((k[0], k[1]) for k in payload["bridges"])
-            return cls(network, list(payload["border_vertex_ids"]),
-                       regions, bridges)
+            index = cls(network, list(payload["border_vertex_ids"]),
+                        regions, bridges)
         except (IndexError, TypeError) as exc:
             raise IndexFormatError(
                 f"{path}: malformed index payload ({exc})") from exc
+        if "oracle" in payload:
+            try:
+                index.oracle = oracle_from_payload(payload["oracle"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IndexFormatError(
+                    f"{path}: malformed oracle payload ({exc})") from exc
+            index.stats.oracle_kind = index.oracle.kind
+            index.stats.oracle_entries = index.oracle.entry_count()
+        return index
 
     # -- binary (mmap) format ------------------------------------------
 
     def save_binary(self, path: Union[str, os.PathLike]) -> None:
-        """Write the compact ``roadpart-index-bin-v1`` layout (see
-        :mod:`repro.core.roadpart.binfmt` for the byte-level spec)."""
+        """Write the compact binary layout (see
+        :mod:`repro.core.roadpart.binfmt` for the byte-level spec).
+
+        Indexes without an oracle are written as version 1 --
+        byte-identical to pre-oracle builds; an attached oracle bumps
+        the file to version 2 with the oracle sections appended.
+        """
         from repro.core.roadpart import binfmt
         binfmt.write_index_binary(
             path, self.network.num_vertices,
             list(self.border_vertex_ids),
             list(self.regions.region_of),
             list(self.regions.vectors),
-            sorted(tuple(k) for k in self.bridges))
+            sorted(tuple(k) for k in self.bridges),
+            oracle=(None if self.oracle is None
+                    else self.oracle.to_payload()))
 
     @classmethod
     def load_binary(cls, path: Union[str, os.PathLike],
@@ -204,6 +244,12 @@ class RoadPartIndex:
         regions = RegionSet(payload.region_of, payload.vectors)
         bridges = frozenset((u, v) for u, v in payload.bridges)
         index = cls(network, payload.border_vertex_ids, regions, bridges)
+        if payload.oracle is not None:
+            # The oracle arrays are views over the same mapping -- label
+            # lookups read the page cache directly, no materialisation.
+            index.oracle = oracle_from_payload(payload.oracle)
+            index.stats.oracle_kind = index.oracle.kind
+            index.stats.oracle_entries = index.oracle.entry_count()
         # The memoryviews above alias the mapping; keep it alive for
         # exactly as long as the index is.
         index._mmap_keepalive = payload.mapping
@@ -226,6 +272,7 @@ def build_index(network: RoadNetwork, border_count: int,
                 trace: Optional[TraceRecorder] = None,
                 jobs: int = 1,
                 engine: str = "flat",
+                oracle: str = "none",
                 ) -> RoadPartIndex:
     """Build a RoadPart index with ``ℓ = border_count`` border vertices.
 
@@ -243,10 +290,18 @@ def build_index(network: RoadNetwork, border_count: int,
     for the cuts (``'flat'``/``'dict'``; identical cuts either way, see
     :mod:`repro.shortestpath.flat`).
 
+    ``oracle`` (``"none"``/``"auto"``/``"hub"``/``"ch"``, see
+    :mod:`repro.shortestpath.oracle`) adds a distance-oracle
+    construction phase after labelling; the oracle runs in the parent
+    process in both the serial and fork-parallel paths, so parallel
+    builds stay byte-identical to serial ones.
+
     ``trace`` (optional, see :mod:`repro.obs.trace`) records a nested
     span tree of the build: ``bridges`` / ``contour`` / ``labeling`` with
     one ``round-<i>`` child per labelling round, itself broken into
-    ``cuts`` / ``flood`` / ``pockets``.
+    ``cuts`` / ``flood`` / ``pockets``; an oracle build adds an
+    ``oracle`` span with one ``region-<id>`` child per hub region group
+    (or one ``contract`` child for ``ch``).
     """
     trace = resolve_trace(trace)
     stats = IndexBuildStats()
@@ -294,7 +349,20 @@ def build_index(network: RoadNetwork, border_count: int,
     stats.fallback_cuts = cut_cache.fallback_cuts
 
     regions = builder.finish()
+
+    built_oracle = None
+    if resolve_oracle_kind(oracle, bridges) != "none":
+        step = time.perf_counter()
+        with trace.span("oracle"):
+            built_oracle = build_oracle(network, oracle, sorted(bridges),
+                                        region_of=regions.region_of,
+                                        trace=trace)
+        stats.oracle_seconds = time.perf_counter() - step
+        stats.oracle_kind = built_oracle.kind
+        stats.oracle_entries = built_oracle.entry_count()
+
     stats.build_seconds = time.perf_counter() - started
     border_ids = [contour.vertex_ids[pos] for pos in border_positions]
     return RoadPartIndex(network, border_ids, regions, frozenset(bridges),
-                         contour=contour, stats=stats)
+                         contour=contour, stats=stats,
+                         oracle=built_oracle)

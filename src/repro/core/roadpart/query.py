@@ -93,6 +93,20 @@ class RoadPartQueryProcessor:
         query runs -- the Corollary 3 BL-E ball and each bridge's
         dual-heap domain computation; both engines give identical
         results and counters -- see :mod:`repro.shortestpath.flat`.
+    oracle:
+        Bridge-domain distance-oracle policy.  ``'auto'`` (default)
+        consults the oracle attached to the index when there is one;
+        ``'none'`` never consults it (today's pure dual-heap path);
+        ``'hub'``/``'ch'`` require the index to carry an oracle of that
+        kind and raise :class:`ValueError` otherwise.  The oracle only
+        ever answers the Theorem 5 *validity test*; a valid bridge
+        still runs the dual-heap search, because patching needs the
+        pred trees -- which is what keeps the DPS output byte-identical
+        with and without an oracle (an invalid bridge contributes
+        nothing to the DPS either way).  Oracle sweeps touch no search
+        counters; they are accounted separately as ``oracle_hits`` /
+        ``oracle_fallbacks`` in the result stats (see
+        ``docs/observability.md``).
     """
 
     def __init__(self, index: RoadPartIndex, window_mode: str = "tight",
@@ -100,7 +114,8 @@ class RoadPartQueryProcessor:
                  prune_theorem7: bool = False,
                  cut_pair_order: str = "load",
                  examine_all_bridges: bool = False,
-                 engine: str = "flat") -> None:
+                 engine: str = "flat",
+                 oracle: str = "auto") -> None:
         if window_mode not in ("tight", "loose"):
             raise ValueError(f"unknown window mode {window_mode!r}")
         self._index = index
@@ -110,6 +125,19 @@ class RoadPartQueryProcessor:
         self._cut_pair_order = cut_pair_order
         self._examine_all = examine_all_bridges
         self._engine = engine
+        if oracle in ("auto", "none"):
+            self._oracle = index.oracle if oracle == "auto" else None
+        elif oracle in ("hub", "ch"):
+            if index.oracle is None or index.oracle.kind != oracle:
+                have = "no oracle" if index.oracle is None else \
+                    f"a {index.oracle.kind!r} oracle"
+                raise ValueError(
+                    f"oracle={oracle!r} requested but the index carries"
+                    f" {have}; rebuild with build_index(...,"
+                    f" oracle={oracle!r})")
+            self._oracle = index.oracle
+        else:
+            raise ValueError(f"unknown oracle policy {oracle!r}")
 
     # ------------------------------------------------------------------
 
@@ -120,7 +148,7 @@ class RoadPartQueryProcessor:
         (``b`` examined bridges, ``b_v`` valid bridges) in the stats.
 
         ``stats`` (optional) collects the phase breakdown (``window``,
-        ``region-prune``, ``bridge-classify``, ``cor3-ble``,
+        ``region-prune``, ``bridge-classify``, ``cor3-ble``, ``oracle``,
         ``bridge-domains``, ``path-patch``) and engine counters -- see
         :mod:`repro.obs`.  ``deadline`` (optional) bounds the SSSP work
         (the Corollary 3 ball and every bridge-domain sweep drain one
@@ -148,15 +176,20 @@ class RoadPartQueryProcessor:
                     kept_regions += 1
 
         # --- bridge handling (Section V) --------------------------------
-        examined, valid = self._handle_bridges(query, window, collected,
-                                               stats, deadline=deadline)
+        examined, valid, oracle_hits = self._handle_bridges(
+            query, window, collected, stats, deadline=deadline)
 
         elapsed = time.perf_counter() - started
+        result_stats = {"b": examined, "bv": valid,
+                        "regions_kept": kept_regions,
+                        "query_regions": len(query_regions)}
+        if self._oracle is not None:
+            # Emitted only when an oracle is attached, so oracle-less
+            # runs keep exactly today's stats payload.
+            result_stats["oracle_hits"] = oracle_hits
+            result_stats["oracle_fallbacks"] = examined - oracle_hits
         result = DPSResult("RoadPart", query, frozenset(collected),
-                           seconds=elapsed,
-                           stats={"b": examined, "bv": valid,
-                                  "regions_kept": kept_regions,
-                                  "query_regions": len(query_regions)})
+                           seconds=elapsed, stats=result_stats)
         stats.finish(result, network)
         return result
 
@@ -248,16 +281,36 @@ class RoadPartQueryProcessor:
                         collected: Set[int],
                         stats: QueryStats,
                         deadline: Optional[Deadline] = None,
-                        ) -> Tuple[int, int]:
-        """Prune, examine and patch bridges; returns ``(b, b_v)``."""
+                        ) -> Tuple[int, int, int]:
+        """Prune, examine and patch bridges; returns ``(b, b_v,
+        oracle_hits)``."""
         network = self._index.network
         to_examine = self._select_bridges(query, window, stats,
                                           deadline=deadline)
         q_vertices = sorted(query.combined)
         examined = 0
         valid = 0
+        oracle_hits = 0
+        scratch = None
+        if self._oracle is not None and to_examine:
+            # One scratch per query: the target-side state (label
+            # buckets / upward sweeps) is shared by every bridge.
+            scratch = self._oracle.scratch(q_vertices)
         for u, v in to_examine:
             examined += 1
+            if scratch is not None and self._oracle.covers(u, v):
+                with stats.phase("oracle"):
+                    is_valid = scratch.bridge_valid(
+                        u, v, network.edge_weight(u, v))
+                if not is_valid:
+                    # Theorem 5 test answered from labels alone: an
+                    # invalid bridge contributes nothing to the DPS, so
+                    # the whole dual-heap sweep is skipped.  Same
+                    # _in_domain tolerance as the engines, so the
+                    # classification agrees with what the sweep would
+                    # have concluded.
+                    oracle_hits += 1
+                    continue
             with stats.phase("bridge-domains"):
                 domains = bridge_domains(network, u, v, q_vertices,
                                          counters=stats.counters,
@@ -276,7 +329,7 @@ class RoadPartQueryProcessor:
                                       collected)
             # Pred views consumed; recycle both arenas into the pool.
             domains.release()
-        return examined, valid
+        return examined, valid, oracle_hits
 
 
 def roadpart_dps(index: RoadPartIndex, query: DPSQuery,

@@ -98,6 +98,7 @@ COUNT_EXTRAS = frozenset({
     "b", "bv", "border", "sssp_rounds", "regions_kept", "query_regions",
     "refined", "failures", "fallbacks", "retries",
     "cache_hits", "cache_misses", "cache_evictions",
+    "oracle_hits", "oracle_fallbacks",
 })
 
 #: Extras that *identify* rather than measure (vertex ids); any
@@ -266,11 +267,12 @@ def merge_query_stats(stats_list: Iterable[QueryStats]) -> QueryStats:
 def _dispatch(algorithm: str, network: RoadNetwork,
               index: Optional[RoadPartIndex], query: DPSQuery,
               engine: str, qstats: Optional[QueryStats],
-              deadline: Optional[Deadline]) -> DPSResult:
+              deadline: Optional[Deadline],
+              oracle: str = "auto") -> DPSResult:
     """Run one algorithm over one query (may raise)."""
     if algorithm == "roadpart":
         return roadpart_dps(index, query, stats=qstats, engine=engine,
-                            deadline=deadline)
+                            deadline=deadline, oracle=oracle)
     if algorithm == "blq":
         return bl_quality(network, query, stats=qstats, engine=engine,
                           deadline=deadline)
@@ -289,6 +291,7 @@ def _answer_one(algorithm: str, network: RoadNetwork,
                 fallback: Sequence[str] = (),
                 faults: Optional[FaultPlan] = None,
                 qindex: Optional[int] = None,
+                oracle: str = "auto",
                 ) -> Tuple[Union[DPSResult, QueryFailure],
                            Optional[QueryStats], Optional[str]]:
     """Answer a single query; per-query failures never escape.
@@ -314,7 +317,7 @@ def _answer_one(algorithm: str, network: RoadNetwork,
             if attempt == 0 and faults is not None and qindex is not None:
                 faults.on_query(qindex)
             result = _dispatch(algo, network, index, query, engine,
-                               qstats, deadline)
+                               qstats, deadline, oracle=oracle)
             return result, qstats, (algo if attempt > 0 else None)
         except DeadlineExceeded as exc:
             last_exc, last_algo = exc, algo
@@ -349,7 +352,8 @@ def _batch_worker(indices: List[int]):
             _CTX["engine"], _CTX["want_stats"],  # type: ignore[arg-type]
             deadline_s=_CTX["deadline_s"],  # type: ignore[arg-type]
             fallback=_CTX["fallback"],  # type: ignore[arg-type]
-            faults=_CTX["faults"], qindex=i)  # type: ignore[arg-type]
+            faults=_CTX["faults"], qindex=i,  # type: ignore[arg-type]
+            oracle=_CTX["oracle"])  # type: ignore[arg-type]
         out.append((i, result, qstats, used))
     return out
 
@@ -362,7 +366,8 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
                 deadline_ms: Optional[float] = None,
                 fallback: Optional[Sequence[str]] = None,
                 max_retries: int = 2,
-                faults: Optional[FaultPlan] = None) -> BatchOutcome:
+                faults: Optional[FaultPlan] = None,
+                oracle: str = "auto") -> BatchOutcome:
     """Answer a batch of independent DPS queries, optionally in parallel.
 
     ``algorithm`` is one of :data:`ALGORITHMS`; ``roadpart`` requires
@@ -379,6 +384,10 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
     as exceptions; chunks lost to a worker crash are retried serially in
     the parent, up to ``max_retries`` lost chunks per batch.  ``faults``
     injects deterministic failures (see :mod:`repro.serve.faults`).
+    ``oracle`` is the RoadPart bridge-domain oracle policy
+    (``'auto'``/``'none'``/``'hub'``/``'ch'``, see
+    :mod:`repro.shortestpath.oracle`); non-RoadPart algorithms ignore
+    it.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -417,7 +426,8 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
         _CTX = {"algorithm": algorithm, "network": network, "index": index,
                 "queries": query_list, "engine": engine,
                 "want_stats": collect_stats, "deadline_s": deadline_s,
-                "fallback": fallback_seq, "faults": faults}
+                "fallback": fallback_seq, "faults": faults,
+                "oracle": oracle}
         ctx = multiprocessing.get_context("fork")
         lost: List[List[int]] = []
         try:
@@ -456,7 +466,8 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
                                         collect_stats,
                                         deadline_s=deadline_s,
                                         fallback=fallback_seq,
-                                        faults=faults, qindex=i)
+                                        faults=faults, qindex=i,
+                                        oracle=oracle)
         finally:
             _CTX = {}
     else:
@@ -464,7 +475,7 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
             results[i], per_query[i], fallbacks[i] = _answer_one(
                 algorithm, network, index, query, engine, collect_stats,
                 deadline_s=deadline_s, fallback=fallback_seq,
-                faults=faults, qindex=i)
+                faults=faults, qindex=i, oracle=oracle)
     seconds = time.perf_counter() - started
     merged = None
     if collect_stats:

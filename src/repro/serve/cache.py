@@ -31,21 +31,27 @@ from repro.core.dps import DPSQuery
 def canonical_key(algorithm: str, query: DPSQuery, *,
                   engine: str = "flat",
                   deadline_ms: Optional[float] = None,
-                  fallback: Sequence[str] = ()) -> Tuple[Hashable, ...]:
+                  fallback: Sequence[str] = (),
+                  oracle: str = "auto") -> Tuple[Hashable, ...]:
     """Build the cache key of one request.
 
     Two requests collapse to one entry exactly when every answer-shaping
     input matches: the algorithm, the *sorted* source and target sets
-    (so ``S=[3,1]`` and ``S=[1,3]`` are one query), the engine, and the
+    (so ``S=[3,1]`` and ``S=[1,3]`` are one query), the engine, the
     deadline/fallback policy (a blown deadline changes which algorithm
-    answers, so policy is identity, not metadata).
+    answers, so policy is identity, not metadata), and the oracle
+    policy.  The DPS vertex set is oracle-invariant by construction,
+    but the answer's *stats* payload is not (``oracle_hits`` /
+    ``oracle_fallbacks`` appear only on oracle-answered requests), so
+    oracle policy is part of cache identity too.
     """
     return (algorithm,
             tuple(sorted(query.sources)),
             tuple(sorted(query.targets)),
             engine,
             deadline_ms,
-            tuple(fallback))
+            tuple(fallback),
+            oracle)
 
 
 class ResultCache:

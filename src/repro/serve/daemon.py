@@ -146,6 +146,7 @@ class DPSDaemon:
                  index: Optional[RoadPartIndex] = None, *,
                  algorithm: str = "roadpart",
                  engine: str = "flat",
+                 oracle: str = "auto",
                  deadline_ms: Optional[float] = None,
                  fallback: Optional[Sequence[str]] = None,
                  cache_size: int = 256,
@@ -163,6 +164,10 @@ class DPSDaemon:
         self.index = index
         self.algorithm = algorithm
         self.engine = engine
+        #: Bridge-domain oracle policy; part of every cache key (the
+        #: stats payload differs with/without an oracle, so policy is
+        #: answer identity -- see repro.serve.cache.canonical_key).
+        self.oracle = oracle
         self.deadline_ms = deadline_ms
         self.default_fallback: Optional[Tuple[str, ...]] = (
             tuple(fallback) if fallback is not None else None)
@@ -339,7 +344,8 @@ class DPSDaemon:
         key = canonical_key(request.algorithm, request.query,
                             engine=self.engine,
                             deadline_ms=request.deadline_ms,
-                            fallback=request.fallback)
+                            fallback=request.fallback,
+                            oracle=self.oracle)
         cached = self.cache.get(key)
         if cached is not None:
             self._note_request(time.perf_counter() - started)
@@ -352,7 +358,8 @@ class DPSDaemon:
                 request.query, self.engine, True,
                 deadline_s=request.deadline_s,
                 fallback=request.fallback,
-                faults=self.faults, qindex=seq)
+                faults=self.faults, qindex=seq,
+                oracle=self.oracle)
         latency = time.perf_counter() - started
         if isinstance(result, QueryFailure):
             self._note_request(latency, failure=True)
@@ -395,6 +402,7 @@ class DPSDaemon:
             "status": "ok",
             "algorithm": self.algorithm,
             "engine": self.engine,
+            "oracle": self.oracle,
             "network_vertices": self.network.num_vertices,
             "index_loaded": self.index is not None,
             "uptime_seconds": round(time.monotonic() - self._started_at,

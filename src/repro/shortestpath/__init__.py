@@ -28,6 +28,19 @@ Three index families can be *built on a DPS* (the Section I deployment):
 :mod:`repro.shortestpath.alt` (landmarks), :mod:`repro.shortestpath.ch`
 (contraction hierarchies, [15] of the paper) and
 :mod:`repro.shortestpath.hub_labels` (2-hop labels, [9] of the paper).
+
+Oracle backends
+---------------
+
+The hub-label and CH families double as **distance oracles** for the
+RoadPart bridge-domain workload: :mod:`repro.shortestpath.oracle`
+wraps them behind one facade (:class:`HubOracle` over the bridge
+endpoints as a partial PLL, :class:`CHOracle` over the full network)
+that ``build_index`` precomputes and the query processor consults to
+answer bridge validity tests without a dual-heap sweep, falling back
+to the fused flat kernel whenever an actual path is needed.
+:func:`build_oracle` / :func:`resolve_oracle_kind` implement the
+``--oracle`` policy (``auto``/``none``/``hub``/``ch``).
 """
 
 from repro.shortestpath.alt import ALTIndex
@@ -43,22 +56,40 @@ from repro.shortestpath.flat import (
 )
 from repro.shortestpath.heap import AddressableHeap
 from repro.shortestpath.hub_labels import HubLabelIndex
+from repro.shortestpath.oracle import (
+    ORACLE_KINDS,
+    ORACLE_POLICIES,
+    CHOracle,
+    DistanceOracle,
+    HubOracle,
+    build_oracle,
+    oracle_from_payload,
+    resolve_oracle_kind,
+)
 from repro.shortestpath.paths import collect_path_vertices, reconstruct_path
 
 __all__ = [
     "ALTIndex",
     "AddressableHeap",
+    "CHOracle",
     "ContractionHierarchy",
     "DensePPSPEngine",
+    "DistanceOracle",
     "FlatDijkstraSearch",
     "HubLabelIndex",
+    "HubOracle",
+    "ORACLE_KINDS",
+    "ORACLE_POLICIES",
     "ShortestPathTree",
     "astar",
     "bidirectional_ppsp",
     "bridge_domains",
+    "build_oracle",
     "collect_path_vertices",
     "flat_bidirectional_ppsp",
     "flat_bridge_domains",
+    "oracle_from_payload",
     "reconstruct_path",
+    "resolve_oracle_kind",
     "sssp",
 ]

@@ -39,25 +39,64 @@ class HubLabelIndex:
         is correct; importance ordering shrinks labels.  Default: by
         descending degree, ties by id -- a solid heuristic for road
         networks, where high-degree junctions cover many paths.
+    hubs:
+        A *partial* hub set (mutually exclusive with ``order``): only
+        these vertices are processed, in the given sequence.  The
+        labels are then exact for every pair with at least one hub on a
+        shortest path between them -- in particular for every pair
+        ``(x, h)`` with ``h ∈ hubs``, since ``h`` itself lies on each of
+        its own shortest paths.  This is what makes a small hub set a
+        sound distance oracle for a fixed endpoint workload (the bridge
+        endpoints of :mod:`repro.shortestpath.oracle`) at a fraction of
+        a full PLL build.  Further hubs can be appended with
+        :meth:`add_hub`.
     """
 
     def __init__(self, network: RoadNetwork,
                  order: Optional[Sequence[int]] = None,
-                 counters: Optional[SearchCounters] = None) -> None:
+                 counters: Optional[SearchCounters] = None,
+                 hubs: Optional[Sequence[int]] = None) -> None:
         self._network = network
         self._build_counters = NULL_COUNTERS if counters is None else counters
         n = network.num_vertices
-        if order is None:
+        if hubs is not None:
+            if order is not None:
+                raise ValueError("pass either order= or hubs=, not both")
+            order = list(hubs)
+            if len(set(order)) != len(order):
+                raise ValueError("hubs must be distinct")
+            for h in order:
+                if not 0 <= h < n:
+                    raise ValueError(f"hub {h} out of range 0..{n - 1}")
+        elif order is None:
             order = sorted(network.vertices(),
                            key=lambda v: (-network.degree(v), v))
         elif sorted(order) != list(range(n)):
             raise ValueError("order must be a permutation of the vertices")
         self._labels: List[Dict[int, float]] = [{} for _ in range(n)]
         self._rank = [0] * n
-        for rank, v in enumerate(order):
-            self._rank[v] = rank
+        self._hubs: List[int] = []
+        self._hub_set: set = set()
         for hub in order:
-            self._pruned_dijkstra(hub)
+            self.add_hub(hub)
+
+    def add_hub(self, hub: int) -> None:
+        """Process one more vertex as a hub (incremental PLL).
+
+        Labels stay exact for every pair covered by the hubs processed
+        so far; appending hubs only grows coverage, never invalidates
+        existing labels."""
+        if hub in self._hub_set:
+            raise ValueError(f"vertex {hub} is already a hub")
+        self._rank[hub] = len(self._hubs)
+        self._hubs.append(hub)
+        self._hub_set.add(hub)
+        self._pruned_dijkstra(hub)
+
+    @property
+    def hubs(self) -> Tuple[int, ...]:
+        """The processed hubs, in processing (importance) order."""
+        return tuple(self._hubs)
 
     def _pruned_dijkstra(self, hub: int) -> None:
         """Label every vertex whose shortest path from ``hub`` is not

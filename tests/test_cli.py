@@ -158,7 +158,9 @@ class TestStatsFlags:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         labels = [s["label"] for s in payload["spans"]]
-        assert labels == ["bridges", "contour", "labeling"]
+        # The CLI defaults to --oracle auto and the generated map has
+        # bridges, so the build gains the oracle-construction span.
+        assert labels == ["bridges", "contour", "labeling", "oracle"]
 
     def test_build_index_stats_render(self, generated_map, tmp_path,
                                       capsys):
@@ -381,9 +383,12 @@ class TestIndexTools:
         capsys.readouterr()
         assert main(["index", "info", "--in", str(binary)]) == 0
         out = capsys.readouterr().out
-        assert "roadpart-index-bin-v1" in out
+        # build-index defaults to --oracle auto and the generated map has
+        # bridges, so the converted binary carries oracle sections (v2).
+        assert "roadpart-index-bin-v2" in out
         assert "borders (l): 6" in out
         assert "section regionof" in out
+        assert "oracle:" in out
         assert main(["index", "info", "--in", str(built_index)]) == 0
         out = capsys.readouterr().out
         assert "roadpart-index-v1" in out

@@ -19,12 +19,12 @@ PHASE_LABELS = {
     "ConvexHull": ["hull-membership", "crossing-border",
                    "connect-borders"],
     "RoadPart": ["window", "region-prune", "bridge-classify",
-                 "cor3-ble", "bridge-domains", "path-patch"],
+                 "cor3-ble", "oracle", "bridge-domains", "path-patch"],
 }
 
 # Span labels the index build records.
 TRACE_LABELS = ["bridges", "contour", "labeling", "cuts", "flood",
-                "pockets"]
+                "pockets", "oracle"]
 
 
 @pytest.fixture(scope="module")
@@ -85,10 +85,20 @@ class TestObservabilityDoc:
         wrong for a count."""
         from repro.serve import COUNT_EXTRAS, IDENTITY_EXTRAS
         emitted_counts = {"b", "bv", "regions_kept", "query_regions",
-                          "sssp_rounds", "border", "refined"}
+                          "sssp_rounds", "border", "refined",
+                          "oracle_hits", "oracle_fallbacks"}
         assert emitted_counts <= COUNT_EXTRAS
         assert "center_vertex" in IDENTITY_EXTRAS
         assert "radius" not in COUNT_EXTRAS  # the gauge the split fixes
+
+    def test_documents_oracle_surfaces(self, observability_doc):
+        """PR 7 surfaces: the distance-oracle phase, its honest
+        counters, the CLI flag and the bench gate must stay
+        documented."""
+        for needle in ("oracle_hits", "oracle_fallbacks", "--oracle",
+                       "ORACLE_CHECK_RATIO", "region-0"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
 
     def test_documents_metrics_exposition(self, observability_doc):
         """PR 6 surfaces: the daemon's /metrics families, the cache
@@ -151,8 +161,9 @@ class TestServingDoc:
     def test_documents_binary_format(self, serving_doc):
         from repro.core.roadpart import binfmt
         assert binfmt.FORMAT_NAME in serving_doc
+        assert binfmt.FORMAT_NAME_V2 in serving_doc
         assert binfmt.MAGIC.decode("ascii") in serving_doc
-        for tag in binfmt.SECTION_TAGS:
+        for tag in binfmt.SECTION_TAGS + binfmt.ORACLE_SECTION_TAGS:
             assert f"`{tag.decode('ascii')}`" in serving_doc, (
                 f"section {tag!r} missing from docs/serving.md")
         for needle in ("mmap", "IndexFormatError", "save_binary",
@@ -225,5 +236,14 @@ class TestReadmeLinks:
         for needle in ("DPSDaemon", "binfmt", "ResultCache",
                        "canonical_key", "mmap", "save_binary",
                        "load_auto", "roadpart-index-bin-v1"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
+
+    def test_architecture_doc_covers_distance_oracles(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("HubOracle", "CHOracle", "build_oracle",
+                       "oracle_from_payload", "roadpart-index-bin-v2",
+                       "repro.shortestpath.oracle",
+                       "ORACLE_CHECK_RATIO"):
             assert needle in doc, (
                 f"{needle!r} missing from docs/architecture.md")

@@ -30,7 +30,11 @@ class TestCanonicalKey:
         cascaded = canonical_key("roadpart", query, deadline_ms=50.0,
                                  fallback=("ble",))
         other_engine = canonical_key("roadpart", query, engine="dict")
-        assert len({plain, capped, cascaded, other_engine}) == 4
+        # Oracle policy splits the key too: the stats payload carries
+        # oracle_hits/oracle_fallbacks only on oracle-answered requests.
+        no_oracle = canonical_key("roadpart", query, oracle="none")
+        assert len({plain, capped, cascaded, other_engine,
+                    no_oracle}) == 5
 
     def test_algorithm_is_identity(self):
         query = DPSQuery.q_query([1, 2])
