@@ -204,6 +204,44 @@ def _run_bridges(small: bool = False, check: bool = False) -> bool:
     return True
 
 
+def _run_sweep(small: bool = False, check: bool = False) -> bool:
+    """Oracle label-sweep microbenchmark; returns False when the
+    vectorized scratch misses its speedup floor (the ``--check`` CI
+    guard).  Skips -- never fails -- when no array backend is active."""
+    from repro.vec.backend import backend_name, has_backend
+    if not has_backend():
+        print(f"sweep: skipped -- no array backend is active"
+              f" (backend={backend_name()}; install the 'vec' extra or"
+              f" unset REPRO_VEC_DISABLE)")
+        return True
+    from repro.bench.experiments.sweep import (
+        SWEEP_CHECK_RATIO,
+        SWEEP_EPSILONS,
+        SWEEP_REPEATS,
+        run_sweep,
+        speedup,
+    )
+    epsilons = SWEEP_EPSILONS[:2] if small else None
+    measures = run_sweep(epsilons=epsilons,
+                         repeats=2 if small else SWEEP_REPEATS)
+    ratio = speedup(measures)
+    _emit("sweep", render_table(
+        f"Oracle label-sweep microbenchmark -- hub scratches on"
+        f" {measures[0].dataset} (vec/dict speedup {ratio:.2f}x,"
+        f" backend={backend_name()})",
+        ["scratch", "eps", "bridges", "targets", "median (s)",
+         "sweeps/s"],
+        [[m.scratch, f"{m.epsilon:.0%}", m.bridges, m.targets,
+          round(m.seconds, 5), round(m.sweeps_per_second, 1)]
+         for m in measures]))
+    if check and ratio < SWEEP_CHECK_RATIO:
+        print(f"FAIL: vectorized label sweep is below"
+              f" {SWEEP_CHECK_RATIO}x the dict scratch"
+              f" (speedup {ratio:.2f}x)", file=sys.stderr)
+        return False
+    return True
+
+
 def _run_throughput(small: bool = False, inject: bool = False,
                     arrival_rate: Optional[float] = None,
                     requests: Optional[int] = None) -> None:
@@ -286,11 +324,12 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "ablations": _run_ablations,
     "sssp": _run_sssp,
     "bridges": _run_bridges,
+    "sweep": _run_sweep,
     "throughput": _run_throughput,
 }
 
 #: Experiments that take ``check=`` and gate the exit status.
-CHECKED_EXPERIMENTS = ("sssp", "bridges")
+CHECKED_EXPERIMENTS = ("sssp", "bridges", "sweep")
 
 
 def main(argv: List[str]) -> int:

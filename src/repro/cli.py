@@ -68,6 +68,18 @@ from repro.graph.builder import validate_network
 from repro.graph.io import read_dimacs, write_dimacs
 from repro.graph.network import RoadNetwork
 from repro.obs import QueryStats, TraceRecorder
+from repro.shortestpath.flat import ENGINES
+
+
+def _version_line() -> str:
+    """``repro --version`` capability line: version, the engines this
+    install can actually run, and the active array backend."""
+    from repro import __version__
+    from repro.shortestpath.flat import available_engines
+    from repro.vec.backend import backend_name
+    engines = ", ".join(available_engines())
+    return (f"repro {__version__}"
+            f" (engines: {engines}; vec backend: {backend_name()})")
 
 
 def _load_network(args) -> RoadNetwork:
@@ -357,6 +369,13 @@ def _cmd_index_convert(args) -> int:
 
 def _cmd_index_info(args) -> int:
     from repro.core.roadpart import binfmt
+    from repro.shortestpath.flat import available_engines
+    from repro.vec.backend import backend_name
+
+    def _capability_line() -> None:
+        print(f"vec backend: {backend_name()}"
+              f" (engines: {', '.join(available_engines())})")
+
     path = getattr(args, "in")
     if binfmt.sniff_binary(path):
         header = binfmt.read_header(path)
@@ -384,6 +403,7 @@ def _cmd_index_info(args) -> int:
         for tag, (offset, length) in header.sections.items():
             print(f"section {tag.decode('ascii'):<9}"
                   f" offset={offset} bytes={length}")
+        _capability_line()
         return 0
     with open(path, "r", encoding="ascii") as stream:
         payload = json.load(stream)
@@ -394,6 +414,7 @@ def _cmd_index_info(args) -> int:
     print(f"bridges:     {len(payload.get('bridges', []))}")
     oracle = payload.get("oracle")
     print(f"oracle:      {oracle.get('kind') if oracle else 'none'}")
+    _capability_line()
     return 0
 
 
@@ -402,6 +423,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Distance-preserving subgraph queries on road"
                     " networks (ICDE 2013 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=_version_line())
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic network")
@@ -431,9 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--jobs", type=int, default=1,
                        help="labelling worker processes (fork-based;"
                             " the index is byte-identical to --jobs 1)")
-    build.add_argument("--engine", choices=["flat", "dict"],
+    build.add_argument("--engine", choices=list(ENGINES),
                        default="flat",
-                       help="SSSP/A* kernel (identical cuts either way)")
+                       help="SSSP/A* kernel (identical cuts with every"
+                            " engine; numpy needs the 'vec' extra and"
+                            " falls back to flat with a notice)")
     build.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
                        default="auto",
                        help="bridge-domain distance oracle to precompute"
@@ -468,10 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--out",
                        help="output path prefix for the DPS"
                             " (.gr/.co/.vertices appended)")
-    query.add_argument("--engine", choices=["flat", "dict"],
+    query.add_argument("--engine", choices=list(ENGINES),
                        default="flat",
-                       help="SSSP kernel (identical answers and"
-                            " counters either way)")
+                       help="SSSP kernel (identical answers with every"
+                            " engine; numpy needs the 'vec' extra and"
+                            " falls back to flat with a notice)")
     query.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
                        default="auto",
                        help="bridge-domain oracle policy (auto: use the"
@@ -512,8 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="roadpart",
                        help="default algorithm when a request names"
                             " none")
-    serve.add_argument("--engine", choices=["flat", "dict"],
-                       default="flat")
+    serve.add_argument("--engine", choices=list(ENGINES),
+                       default="flat",
+                       help="SSSP kernel (identical answers with every"
+                            " engine; numpy needs the 'vec' extra)")
     serve.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
                        default="auto",
                        help="bridge-domain oracle policy; part of every"

@@ -108,7 +108,7 @@ class CutCache:
         """Build the CSR views the flat engine reads *before* forking,
         so workers inherit them copy-on-write instead of each paying the
         build."""
-        if self._engine == "flat":
+        if self._engine != "dict":
             self._network.csr()
             if self._skeleton is not None:
                 self._skeleton.csr()
@@ -124,10 +124,12 @@ class CutCache:
         return cached[::-1]
 
     def _compute(self, source: int, target: int) -> List[int]:
-        # Both engines expand, tie-break and trace back identically, so
-        # the cut paths -- and hence the whole index -- do not depend on
-        # the engine choice (pinned by the property tests).
-        search = flat_astar if self._engine == "flat" else astar
+        # Both A* engines expand, tie-break and trace back identically,
+        # so the cut paths -- and hence the whole index -- do not depend
+        # on the engine choice (pinned by the property tests).  There is
+        # no vectorized A*: engine="numpy" runs the flat kernel here,
+        # keeping index builds byte-identical across all engines.
+        search = astar if self._engine == "dict" else flat_astar
         if self._skeleton is not None:
             try:
                 result = search(self._skeleton, source, target)

@@ -392,6 +392,12 @@ def run_queries(algorithm: str, queries: Iterable[DPSQuery],
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    # Resolve once for the whole batch: unknown names raise here (not
+    # inside a worker, where they would surface as N QueryFailures) and
+    # "numpy" without an array backend degrades to "flat" with a single
+    # notice before any fork.
+    from repro.shortestpath.flat import resolve_engine
+    engine = resolve_engine(engine)
     if algorithm == "roadpart":
         if index is None:
             raise ValueError("algorithm 'roadpart' needs index=")

@@ -71,6 +71,8 @@ from repro.serve import (
 )
 from repro.serve.cache import ResultCache, canonical_key
 from repro.serve.faults import FaultPlan
+from repro.shortestpath.flat import resolve_engine
+from repro.vec.backend import backend_name
 
 #: Latency samples kept for the /metrics quantiles (a recent window,
 #: not daemon-lifetime history; count/sum cover the lifetime).
@@ -93,6 +95,7 @@ _METRIC_TYPES = {
     "repro_request_latency_seconds": "summary",
     "repro_computed_seconds_total": "counter",
     "repro_phase_seconds_total": "counter",
+    "repro_build_info": "gauge",
 }
 
 
@@ -104,6 +107,7 @@ class _Request:
     query: DPSQuery
     deadline_ms: Optional[float]
     fallback: Tuple[str, ...]
+    engine: str
 
     @property
     def deadline_s(self) -> Optional[float]:
@@ -163,7 +167,12 @@ class DPSDaemon:
         self.network = network
         self.index = index
         self.algorithm = algorithm
-        self.engine = engine
+        # Resolved at startup: unknown names are rejected here (the CLI
+        # turns the ValueError into exit 2), and "numpy" without an
+        # array backend degrades to "flat" once -- so cache keys, the
+        # /healthz document and every answer agree on the engine that
+        # actually runs.
+        self.engine = resolve_engine(engine)
         #: Bridge-domain oracle policy; part of every cache key (the
         #: stats payload differs with/without an oracle, so policy is
         #: answer identity -- see repro.serve.cache.canonical_key).
@@ -259,6 +268,20 @@ class DPSDaemon:
             raise RequestValidationError(
                 f"unknown algorithm {algorithm!r}; choose from"
                 f" {ALGORITHMS}")
+        raw_engine = payload.get("engine")
+        if raw_engine is None:
+            engine = self.engine
+        else:
+            try:
+                # Resolving (not just membership-testing) keeps request
+                # semantics aligned with the daemon flag: unknown names
+                # are rejected with the list of engines this install
+                # can actually run, and "numpy" without a backend
+                # degrades to "flat" so the cache key matches the
+                # engine that answers.
+                engine = resolve_engine(raw_engine)
+            except ValueError as exc:
+                raise RequestValidationError(str(exc)) from exc
         if algorithm == "roadpart" and self.index is None:
             raise RequestValidationError(
                 "algorithm 'roadpart' needs a daemon started with an"
@@ -298,7 +321,7 @@ class DPSDaemon:
                 raise RequestValidationError(
                     "fallback 'roadpart' needs a daemon started with"
                     " an index")
-        return _Request(algorithm, query, deadline_ms, fallback)
+        return _Request(algorithm, query, deadline_ms, fallback, engine)
 
     def _parse_query_sets(self, payload: Dict) -> DPSQuery:
         def id_list(key: str) -> List[int]:
@@ -342,7 +365,7 @@ class DPSDaemon:
                                "message": str(exc)}}
             return 400, _json_bytes(error), {}
         key = canonical_key(request.algorithm, request.query,
-                            engine=self.engine,
+                            engine=request.engine,
                             deadline_ms=request.deadline_ms,
                             fallback=request.fallback,
                             oracle=self.oracle)
@@ -355,7 +378,7 @@ class DPSDaemon:
             self._seq += 1
             result, qstats, used = _answer_one(
                 request.algorithm, self.network, self.index,
-                request.query, self.engine, True,
+                request.query, request.engine, True,
                 deadline_s=request.deadline_s,
                 fallback=request.fallback,
                 faults=self.faults, qindex=seq,
@@ -402,6 +425,7 @@ class DPSDaemon:
             "status": "ok",
             "algorithm": self.algorithm,
             "engine": self.engine,
+            "vec_backend": backend_name(),
             "oracle": self.oracle,
             "network_vertices": self.network.num_vertices,
             "index_loaded": self.index is not None,
@@ -418,6 +442,14 @@ class DPSDaemon:
             latency_sum = self._latency_sum
             merged = self._accumulator.snapshot()
             samples: List = [
+                # Build/config identity as a constant gauge (the
+                # standard Prometheus *_info idiom): which engine the
+                # daemon resolved to and whether the vectorized array
+                # backend is active in this process.
+                ("repro_build_info",
+                 {"algorithm": self.algorithm, "engine": self.engine,
+                  "oracle": self.oracle, "vec_backend": backend_name()},
+                 1),
                 ("repro_uptime_seconds", None,
                  time.monotonic() - self._started_at),
                 ("repro_requests_total", None, self.requests_total),

@@ -313,6 +313,13 @@ class HubOracle(DistanceOracle):
         return u in self._hub_set and v in self._hub_set
 
     def scratch(self, targets: Sequence[int]) -> OracleScratch:
+        # The vectorized scratch produces bit-identical distance maps
+        # (same min over the same candidate multiset), so picking it
+        # whenever the backend is up never changes an answer.
+        from repro.vec.backend import has_backend
+        if has_backend():
+            from repro.shortestpath.vec import VecHubScratch
+            return VecHubScratch(self, targets)
         return _HubScratch(self, targets)
 
     def entry_count(self) -> int:

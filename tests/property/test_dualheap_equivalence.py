@@ -160,6 +160,6 @@ class TestDeterministicCases:
 
     def test_unknown_engine_rejected(self, split_network):
         with pytest.raises(ValueError, match="unknown engine"):
-            bridge_domains(split_network, 0, 1, [1], engine="numpy")
+            bridge_domains(split_network, 0, 1, [1], engine="cuda")
         with pytest.raises(ValueError, match="unknown engine"):
-            bidirectional_ppsp(split_network, 0, 1, engine="numpy")
+            bidirectional_ppsp(split_network, 0, 1, engine="cuda")

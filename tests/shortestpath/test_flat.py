@@ -25,7 +25,7 @@ class TestMakeSearch:
 
     def test_unknown_engine_rejected(self, grid5):
         with pytest.raises(ValueError, match="unknown engine"):
-            make_search(grid5, 0, engine="numpy")
+            make_search(grid5, 0, engine="cuda")
 
     def test_source_outside_allowed_rejected(self, grid5):
         with pytest.raises(ValueError, match="allowed"):

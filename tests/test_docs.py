@@ -116,6 +116,19 @@ class TestObservabilityDoc:
             assert needle in observability_doc, (
                 f"{needle!r} missing from docs/observability.md")
 
+    def test_documents_vectorized_engine_surfaces(self,
+                                                  observability_doc):
+        """PR 8 surfaces: the numpy engine, its bucket-level counter
+        caveat, the fallback notice, the sweep gate and the build-info
+        metric must stay documented."""
+        for needle in ("numpy", "bucket-level", "REPRO_VEC_DISABLE",
+                       "bench sweep", "SWEEP_CHECK_RATIO",
+                       "repro_build_info", "vec_backend",
+                       "available_engines", "--engine {flat,dict,numpy}",
+                       "--version"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
+
     def test_documents_every_exposed_metric_family(self):
         """Every family the daemon can emit must appear in the doc's
         exposition table (the search families are one templated row)."""
@@ -245,5 +258,15 @@ class TestReadmeLinks:
                        "oracle_from_payload", "roadpart-index-bin-v2",
                        "repro.shortestpath.oracle",
                        "ORACLE_CHECK_RATIO"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
+
+    def test_architecture_doc_covers_vectorized_engine(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("VecDijkstraSearch", "VecHubScratch",
+                       "repro.vec.backend", "repro.shortestpath.vec",
+                       "minimum.reduceat", "result equivalence",
+                       "REPRO_VEC_DISABLE", "resolve_engine",
+                       "repro[vec]"):
             assert needle in doc, (
                 f"{needle!r} missing from docs/architecture.md")
