@@ -70,7 +70,8 @@ def _run_fig10(small: bool = False) -> None:
     rows = []
     for p in points:
         measure = AlgorithmMeasure("RoadPart-build", p.partition_seconds,
-                                   p.region_count)
+                                   p.region_count,
+                                   samples=list(p.partition_samples or []))
         rows.append(bench_row("fig10", FIG10_DATASET, measure,
                               border_count=p.border_count,
                               max_region_size=p.max_region_size,
@@ -242,6 +243,39 @@ def _run_sweep(small: bool = False, check: bool = False) -> bool:
     return True
 
 
+def _run_build(small: bool = False, check: bool = False) -> bool:
+    """Oracle construction microbenchmark; returns False when the
+    batched PLL builder misses its speedup floor (the ``--check`` CI
+    guard).  Skips -- never fails -- when no array backend is active."""
+    from repro.vec.backend import backend_name, has_backend
+    if not has_backend():
+        print(f"build: skipped -- no array backend is active"
+              f" (backend={backend_name()}; install the 'vec' extra or"
+              f" unset REPRO_VEC_DISABLE)")
+        return True
+    from repro.bench.experiments.build import (
+        BUILD_CHECK_RATIO,
+        BUILD_REPEATS,
+        run_build,
+        speedup,
+    )
+    measures = run_build(repeats=2 if small else BUILD_REPEATS)
+    ratio = speedup(measures)
+    _emit("build", render_table(
+        f"Oracle construction microbenchmark -- partial PLL on"
+        f" {measures[0].dataset} (vec/scalar speedup {ratio:.2f}x,"
+        f" backend={backend_name()})",
+        ["builder", "hubs", "entries", "median (s)", "entries/s"],
+        [[m.builder, m.hubs, m.entries, round(m.seconds, 4),
+          round(m.entries_per_second)] for m in measures]))
+    if check and ratio < BUILD_CHECK_RATIO:
+        print(f"FAIL: batched PLL builder is below"
+              f" {BUILD_CHECK_RATIO}x the scalar builder"
+              f" (speedup {ratio:.2f}x)", file=sys.stderr)
+        return False
+    return True
+
+
 def _run_throughput(small: bool = False, inject: bool = False,
                     arrival_rate: Optional[float] = None,
                     requests: Optional[int] = None) -> None:
@@ -325,11 +359,12 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "sssp": _run_sssp,
     "bridges": _run_bridges,
     "sweep": _run_sweep,
+    "build": _run_build,
     "throughput": _run_throughput,
 }
 
 #: Experiments that take ``check=`` and gate the exit status.
-CHECKED_EXPERIMENTS = ("sssp", "bridges", "sweep")
+CHECKED_EXPERIMENTS = ("sssp", "bridges", "sweep", "build")
 
 
 def main(argv: List[str]) -> int:

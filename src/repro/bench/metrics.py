@@ -108,12 +108,14 @@ class AlgorithmMeasure:
 BENCH_SCHEMA = "repro-bench-v1"
 
 #: Required keys of one baseline row, with their value types.
+#: ``p95_seconds`` is conditional -- required at ``repeats >= 2``,
+#: *forbidden* at ``repeats == 1`` (a single sample has no tail) -- so
+#: it is checked separately in :func:`validate_bench_payload`.
 _ROW_FIELDS = {
     "experiment": str,
     "dataset": str,
     "algorithm": str,
     "median_seconds": float,
-    "p95_seconds": float,
     "repeats": int,
     "dps_size": int,
     "counters": dict,
@@ -129,11 +131,15 @@ def bench_row(experiment: str, dataset: str, measure: AlgorithmMeasure,
         "dataset": dataset,
         "algorithm": measure.algorithm,
         "median_seconds": float(measure.median_seconds),
-        "p95_seconds": float(measure.p95_seconds),
         "repeats": int(measure.repeats),
         "dps_size": int(measure.dps_size),
         "counters": {k: int(v) for k, v in measure.counters.items()},
     }
+    if measure.repeats >= 2:
+        # A single run has no tail: claiming p95 == median at repeats 1
+        # is exactly the kind of silently-meaningless number the schema
+        # check rejects, so the field only exists with real repeats.
+        row["p95_seconds"] = float(measure.p95_seconds)
     if extras:
         row["extras"] = dict(extras)
     return row
@@ -179,6 +185,20 @@ def validate_bench_payload(payload: Any) -> List[str]:
         if isinstance(repeats, int) and not isinstance(repeats, bool) \
                 and repeats < 1:
             problems.append(f"{where}.repeats must be >= 1")
+        has_p95 = "p95_seconds" in row
+        if has_p95:
+            p95 = row["p95_seconds"]
+            if not isinstance(p95, (int, float)) or isinstance(p95, bool):
+                problems.append(f"{where}.p95_seconds is not a number")
+            elif p95 < 0:
+                problems.append(f"{where}.p95_seconds is negative")
+        if isinstance(repeats, int) and not isinstance(repeats, bool):
+            if repeats == 1 and has_p95:
+                problems.append(
+                    f"{where}.p95_seconds claims a tail percentile from"
+                    " a single sample (repeats is 1)")
+            elif repeats >= 2 and not has_p95:
+                problems.append(f"{where} misses 'p95_seconds'")
         counters = row.get("counters")
         if isinstance(counters, dict):
             for name, value in counters.items():

@@ -151,7 +151,8 @@ def _cmd_build_index(args) -> int:
           f" oracle={index.stats.oracle_kind}", file=chat)
     if index.oracle is not None:
         print(f"oracle: {index.oracle.describe()}"
-              f" ({index.stats.oracle_seconds:.2f}s)", file=chat)
+              f" ({index.stats.oracle_seconds:.2f}s,"
+              f" {index.stats.oracle_engine} builder)", file=chat)
     if args.stats_json:
         print(json.dumps(trace.to_dict(), indent=2))
     elif args.stats:
@@ -351,7 +352,8 @@ def _cmd_index_convert(args) -> int:
         from repro.shortestpath.oracle import build_oracle
         index.oracle = build_oracle(network, args.oracle,
                                     sorted(index.bridges),
-                                    region_of=index.regions.region_of)
+                                    region_of=index.regions.region_of,
+                                    engine=args.engine)
     # "keep": carry whatever the source file had (possibly nothing).
     fmt = args.format
     if fmt == "auto":
@@ -456,9 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
                             " the index is byte-identical to --jobs 1)")
     build.add_argument("--engine", choices=list(ENGINES),
                        default="flat",
-                       help="SSSP/A* kernel (identical cuts with every"
-                            " engine; numpy needs the 'vec' extra and"
-                            " falls back to flat with a notice)")
+                       help="build kernels: A* for the cuts plus, with"
+                            " numpy, the vectorized flood pass and"
+                            " batched PLL oracle builder (byte-identical"
+                            " index with every engine; numpy needs the"
+                            " 'vec' extra and falls back to flat with a"
+                            " notice)")
     build.add_argument("--oracle", choices=["auto", "none", "hub", "ch"],
                        default="auto",
                        help="bridge-domain distance oracle to precompute"
@@ -585,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="oracle handling: keep the source's,"
                               " strip it, or build the named kind"
                               " (lifts a v1 file to v2)")
+    convert.add_argument("--engine", choices=list(ENGINES),
+                         default="flat",
+                         help="builder for --oracle hub (byte-identical"
+                              " output with every engine; numpy runs"
+                              " the batched PLL builder)")
     convert.set_defaults(func=_cmd_index_convert)
     info = index_sub.add_parser(
         "info", help="describe an index file without loading payloads")

@@ -42,7 +42,7 @@ from repro.errors import IndexFormatError
 from repro.core.roadpart.border import select_borders
 from repro.core.roadpart.bridges import EdgeKey, find_bridges
 from repro.core.roadpart.contour import Contour, compute_contour
-from repro.core.roadpart.labeling import CutCache, label_round
+from repro.core.roadpart.labeling import CutCache, FloodEngine, label_round
 from repro.core.roadpart.parallel import fork_available, run_parallel_labeling
 from repro.core.roadpart.regions import RegionBuilder, RegionSet
 from repro.graph.network import RoadNetwork
@@ -77,6 +77,10 @@ class IndexBuildStats:
     oracle_seconds: float = 0.0
     oracle_kind: str = "none"
     oracle_entries: int = 0
+    #: which hub-label builder ran: "scalar", "vectorized", or "" when
+    #: no oracle was built (the builders' outputs are byte-identical;
+    #: this records only which kernel did the work).
+    oracle_engine: str = ""
 
 
 @dataclass
@@ -286,9 +290,17 @@ def build_index(network: RoadNetwork, border_count: int,
     across that many fork workers (see
     :mod:`repro.core.roadpart.parallel`); the resulting index is
     byte-identical to a serial build.  Platforms without ``fork`` fall
-    back to the serial loop silently.  ``engine`` selects the A* kernel
-    for the cuts (``'flat'``/``'dict'``; identical cuts either way, see
-    :mod:`repro.shortestpath.flat`).
+    back to the serial loop silently.  ``engine`` is honoured end to
+    end: it selects the A* kernel for the cuts (``'flat'``/``'dict'``;
+    identical cuts either way, see :mod:`repro.shortestpath.flat`), the
+    in-zone flood pass (``'numpy'`` runs the array-backed
+    :class:`~repro.core.roadpart.labeling.FloodEngine`) and the
+    hub-oracle builder (``'numpy'`` runs the batched
+    :class:`~repro.shortestpath.vec.VecHubLabeler`).  Every engine --
+    and any ``jobs``/``engine`` combination -- produces a
+    **byte-identical index**; the vectorized passes are pure speed
+    knobs that degrade to scalar without a backend or under
+    ``REPRO_VEC_DISABLE``.
 
     ``oracle`` (``"none"``/``"auto"``/``"hub"``/``"ch"``, see
     :mod:`repro.shortestpath.oracle`) adds a distance-oracle
@@ -300,8 +312,9 @@ def build_index(network: RoadNetwork, border_count: int,
     span tree of the build: ``bridges`` / ``contour`` / ``labeling`` with
     one ``round-<i>`` child per labelling round, itself broken into
     ``cuts`` / ``flood`` / ``pockets``; an oracle build adds an
-    ``oracle`` span with one ``region-<id>`` child per hub region group
-    (or one ``contract`` child for ``ch``).
+    ``oracle`` span whose ``pll-scalar`` or ``pll-vectorized`` child
+    names the builder that ran, with one ``region-<id>`` grandchild per
+    hub region group (or one ``contract`` child for ``ch``).
     """
     trace = resolve_trace(trace)
     stats = IndexBuildStats()
@@ -326,11 +339,13 @@ def build_index(network: RoadNetwork, border_count: int,
     builder = RegionBuilder(network.num_vertices)
     bridge_set = set(bridges)
     cut_cache = CutCache(network, forbidden_edges=bridge_set, engine=engine)
+    flood_engine = FloodEngine(network, bridge_set, engine=engine)
     with trace.span("labeling"):
         if jobs > 1 and fork_available():
             rounds = run_parallel_labeling(network, contour,
                                            border_positions, bridge_set,
-                                           cut_cache, jobs, trace)
+                                           cut_cache, jobs, trace,
+                                           flood=flood_engine)
         else:
             rounds = []
             for round_index in range(len(border_positions)):
@@ -338,7 +353,8 @@ def build_index(network: RoadNetwork, border_count: int,
                     rounds.append(label_round(network, contour,
                                               border_positions,
                                               round_index, bridge_set,
-                                              cut_cache, trace=trace))
+                                              cut_cache, trace=trace,
+                                              flood=flood_engine))
         for labels, round_stats in rounds:
             builder.apply_round(labels)
             stats.raycast_calls += round_stats.raycast_calls
@@ -352,14 +368,18 @@ def build_index(network: RoadNetwork, border_count: int,
 
     built_oracle = None
     if resolve_oracle_kind(oracle, bridges) != "none":
+        from repro.shortestpath.flat import resolve_engine
         step = time.perf_counter()
         with trace.span("oracle"):
             built_oracle = build_oracle(network, oracle, sorted(bridges),
                                         region_of=regions.region_of,
-                                        trace=trace)
+                                        trace=trace, engine=engine)
         stats.oracle_seconds = time.perf_counter() - step
         stats.oracle_kind = built_oracle.kind
         stats.oracle_entries = built_oracle.entry_count()
+        stats.oracle_engine = (
+            "vectorized" if built_oracle.kind == "hub"
+            and resolve_engine(engine) == "numpy" else "scalar")
 
     stats.build_seconds = time.perf_counter() - started
     border_ids = [contour.vertex_ids[pos] for pos in border_positions]

@@ -80,11 +80,19 @@ def resolve_oracle_kind(kind: str, bridges: Iterable) -> str:
     it has none (an oracle could never be consulted).  ``ch`` is never
     picked automatically -- contracting the full network is the
     expensive step CH is famous for.
+
+    Any iterable is accepted: sized containers are probed with
+    ``len()`` and never consumed; only a non-sized iterable (a
+    generator, say) is drained by the emptiness probe, so callers that
+    need the bridges afterwards must materialise first -- as
+    :func:`build_oracle` does.
     """
     if kind not in ORACLE_POLICIES:
         raise ValueError(
             f"unknown oracle kind {kind!r}; choose from {ORACLE_POLICIES}")
     if kind == "auto":
+        if hasattr(bridges, "__len__"):
+            return "hub" if len(bridges) else "none"
         return "hub" if any(True for _ in bridges) else "none"
     return kind
 
@@ -256,16 +264,26 @@ class HubOracle(DistanceOracle):
     @classmethod
     def build(cls, network: RoadNetwork, bridges: Iterable[Tuple[int, int]],
               region_of: Optional[Sequence[int]] = None,
-              trace: Optional[TraceRecorder] = None) -> "HubOracle":
+              trace: Optional[TraceRecorder] = None,
+              engine: str = "flat") -> "HubOracle":
         """Run the per-region construction phase.
 
         Hubs are the distinct bridge endpoints, grouped by region (when
         ``region_of`` is given) and ordered by descending degree inside
         each group -- deterministic, so serial and fork-parallel index
         builds produce byte-identical oracles.  Each region group gets
-        its own ``region-<id>`` trace span under the caller's
-        ``oracle`` span.
+        its own ``region-<id>`` trace span under a ``pll-scalar`` or
+        ``pll-vectorized`` span naming the builder that ran, under the
+        caller's ``oracle`` span.
+
+        ``engine="numpy"`` routes construction through the batched
+        :class:`~repro.shortestpath.vec.VecHubLabeler`; the labels --
+        and therefore the serialised index, JSON or binary -- are
+        byte-identical to the scalar builder's, so the engine is a pure
+        speed knob (and quietly degrades to scalar without a backend,
+        exactly like the query-side engines).
         """
+        from repro.shortestpath.flat import resolve_engine
         trace = resolve_trace(trace)
         endpoints = sorted({e for bridge in bridges for e in bridge})
         groups: List[Tuple[Optional[int], List[int]]] = []
@@ -276,13 +294,31 @@ class HubOracle(DistanceOracle):
             for e in endpoints:
                 by_region.setdefault(region_of[e], []).append(e)
             groups = [(rid, by_region[rid]) for rid in sorted(by_region)]
+        ordered = [(rid, sorted(members,
+                                key=lambda v: (-network.degree(v), v)))
+                   for rid, members in groups]
+        if resolve_engine(engine) == "numpy":
+            # Lazy import: vec.py imports this module at top level.
+            from repro.shortestpath.vec import VecHubLabeler
+            planned = [e for _, members in ordered for e in members]
+            labeler = VecHubLabeler(network, planned)
+            with trace.span("pll-vectorized"):
+                for rid, members in ordered:
+                    label = ("region-all" if rid is None
+                             else f"region-{rid}")
+                    with trace.span(label):
+                        for e in members:
+                            labeler.add_hub(e)
+            offsets, label_hubs, label_dists = labeler.label_arrays()
+            return cls(tuple(planned), offsets=offsets,
+                       label_hubs=label_hubs, label_dists=label_dists)
         index = HubLabelIndex(network, hubs=())
-        for rid, members in groups:
-            label = "region-all" if rid is None else f"region-{rid}"
-            with trace.span(label):
-                for e in sorted(members,
-                                key=lambda v: (-network.degree(v), v)):
-                    index.add_hub(e)
+        with trace.span("pll-scalar"):
+            for rid, members in ordered:
+                label = "region-all" if rid is None else f"region-{rid}"
+                with trace.span(label):
+                    for e in members:
+                        index.add_hub(e)
         n = network.num_vertices
         return cls(index.hubs,
                    label_dicts=[index.label_of(v) for v in range(n)])
@@ -519,14 +555,23 @@ def build_oracle(network: RoadNetwork, kind: str,
                  bridges: Iterable[Tuple[int, int]],
                  region_of: Optional[Sequence[int]] = None,
                  trace: Optional[TraceRecorder] = None,
-                 ) -> Optional[DistanceOracle]:
-    """Build the oracle a policy resolves to (``None`` for none)."""
-    resolved = resolve_oracle_kind(kind, list(bridges))
+                 engine: str = "flat") -> Optional[DistanceOracle]:
+    """Build the oracle a policy resolves to (``None`` for none).
+
+    ``bridges`` may be any iterable, a generator included: it is
+    materialised exactly once here, so the ``auto`` emptiness probe and
+    the hub-endpoint collection see the same elements (a generator used
+    to be drained by the probe, leaving the hub build with no
+    endpoints).  ``engine`` selects the hub-label builder; the CH
+    contraction has no vectorized path and ignores it.
+    """
+    bridges = list(bridges)
+    resolved = resolve_oracle_kind(kind, bridges)
     if resolved == "none":
         return None
     if resolved == "hub":
         return HubOracle.build(network, bridges, region_of=region_of,
-                               trace=trace)
+                               trace=trace, engine=engine)
     return CHOracle.build(network, trace=trace)
 
 

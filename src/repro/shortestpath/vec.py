@@ -605,6 +605,209 @@ def vec_bidirectional_ppsp(network: RoadNetwork, source: int, target: int,
 
 
 # ----------------------------------------------------------------------
+# Batched PLL construction (build-side kernel)
+# ----------------------------------------------------------------------
+
+
+class VecHubLabeler:
+    """Batched partial-PLL builder: each hub's pruned Dijkstra as one
+    bucketed frontier sweep.
+
+    The scalar builder (:meth:`~repro.shortestpath.hub_labels.
+    HubLabelIndex.add_hub`) prunes a vertex ``u`` at settle time when
+    some earlier hub ``h`` certifies ``d(hub,h) + d(h,u) <= d(hub,u)``.
+    Every label that test consults was committed by a *previous* sweep,
+    so for one sweep the prune threshold is a static per-vertex array
+
+        ``cover[u] = min over h in L(hub) of (L(hub)[h] + L(u)[h])``
+
+    evaluated in bulk before the sweep: for each rank in the hub's own
+    label, gather that rank's committed ``(vertices, distances)``
+    arrays, add the hub-side distance, and scatter-min into the dense
+    ``cover`` vector (a rank labels each vertex at most once, so the
+    scatter needs no grouping).  The sweep itself is the wave loop of
+    :class:`VecDijkstraSearch` -- whole min-distance frontier per step,
+    grouped ``np.minimum.reduceat`` scatter-min relaxation over the
+    concatenated CSR -- with one extra rule: a vertex relaxes only
+    while ``cover[u] > dist[u]`` (the exact complement of the scalar
+    ``<=`` prune).  A vertex held back at a stale tentative label
+    re-enters the fixpoint whenever its label improves, so the sweep
+    settles exactly the scalar search's visited set with bit-identical
+    float64 distances (same IEEE adds; a minimum is order-independent),
+    and the labelled set is ``settled & (cover > dist)`` -- the same
+    prune decisions, hub by hub.
+
+    :meth:`label_arrays` then serialises the committed labels in the
+    canonical per-vertex order (hubs in processing order -- exactly the
+    insertion order of the scalar builder's dicts), so a
+    :class:`~repro.shortestpath.oracle.HubOracle` built from these
+    arrays is **byte-identical** to one built scalar, in both the JSON
+    and binary index forms (pinned by the property tests and the
+    index-roundtrip CI job).
+
+    ``hubs`` fixes the full processing order up front -- the builder
+    must know which labelled vertices are future hubs to maintain their
+    labels for the cover computation; :meth:`add_hub` is then called
+    once per hub, in that order (the per-region grouping of
+    :meth:`HubOracle.build` only inserts trace spans between calls).
+    """
+
+    def __init__(self, network: Union[RoadNetwork, CSRGraph],
+                 hubs: Sequence[int]) -> None:
+        np = _require_backend()
+        csr = network.csr() if isinstance(network, RoadNetwork) else network
+        self._np = np
+        indptr, targets, weights, delta = csr.vec_views()
+        self._indptr = indptr
+        self._targets = targets
+        self._weights = weights
+        self._delta = delta
+        n = csr.num_vertices
+        self._n = n
+        planned = [int(h) for h in hubs]
+        if len(set(planned)) != len(planned):
+            raise ValueError("hubs must be distinct")
+        for h in planned:
+            if not 0 <= h < n:
+                raise ValueError(f"hub {h} out of range 0..{n - 1}")
+        self._planned = planned
+        hub_mask = np.zeros(n, dtype=bool)
+        if planned:
+            hub_mask[np.asarray(planned, dtype=np.int64)] = True
+        self._hub_mask = hub_mask
+        #: committed labels, rank-major: the vertices (ascending id)
+        #: and distances labelled by each processed hub.
+        self._rank_verts: List[object] = []
+        self._rank_dists: List[object] = []
+        #: labels of the *planned hubs* only, as (rank, dist) pairs --
+        #: all the cover computation ever reads.
+        self._hub_label: Dict[int, List[Tuple[int, float]]] = {
+            h: [] for h in planned}
+        # Sweep scratch, reused across hubs.
+        self._cover = np.full(n, math.inf)
+        self._dist = np.full(n, math.inf)
+        self._settled = np.zeros(n, dtype=bool)
+
+    @property
+    def planned(self) -> Tuple[int, ...]:
+        """The full hub processing order fixed at construction."""
+        return tuple(self._planned)
+
+    def add_hub(self, hub: int) -> int:
+        """Run one bucketed pruned sweep and commit its labels; returns
+        the number of vertices labelled.  Must follow the planned
+        order."""
+        np = self._np
+        rank = len(self._rank_verts)
+        if rank >= len(self._planned) or self._planned[rank] != hub:
+            raise ValueError(
+                f"hub {hub} out of order: sweep {rank} expects"
+                f" {self._planned[rank] if rank < len(self._planned) else None}")
+        # --- bulk prune threshold over the committed label arrays -----
+        cover = self._cover
+        cover.fill(math.inf)
+        for r, d_hub in self._hub_label[hub]:
+            rv = self._rank_verts[r]
+            cover[rv] = np.minimum(cover[rv], self._rank_dists[r] + d_hub)
+        # --- bucketed pruned sweep ------------------------------------
+        dist = self._dist
+        dist.fill(math.inf)
+        dist[hub] = 0.0
+        settled = self._settled
+        settled.fill(False)
+        indptr = self._indptr
+        while True:
+            masked = np.where(settled, math.inf, dist)
+            lo = float(masked.min()) if self._n else math.inf
+            if lo == math.inf:
+                break
+            bound = lo + self._delta
+            frontier = np.flatnonzero(masked <= bound)
+            while frontier.size:
+                # The prune rule: only uncovered vertices expand.
+                frontier = frontier[cover[frontier] > dist[frontier]]
+                if not frontier.size:
+                    break
+                starts = indptr[frontier]
+                counts = indptr[frontier + 1] - starts
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                arc = _expand_ranges(np, starts, counts, total)
+                nb = self._targets[arc]
+                cand = np.repeat(dist[frontier], counts) + self._weights[arc]
+                keep = ~settled[nb]
+                nb = nb[keep]
+                cand = cand[keep]
+                if nb.size == 0:
+                    break
+                order = np.argsort(nb, kind="stable")
+                nb_s = nb[order]
+                first = np.empty(nb_s.size, dtype=bool)
+                first[0] = True
+                first[1:] = nb_s[1:] != nb_s[:-1]
+                first = np.flatnonzero(first)
+                uniq = nb_s[first]
+                best = np.minimum.reduceat(cand[order], first)
+                improve = best < dist[uniq]
+                upd = uniq[improve]
+                dist[upd] = best[improve]
+                frontier = upd[dist[upd] <= bound]
+            settled |= dist <= bound
+        # --- commit this sweep's labels -------------------------------
+        labelled = np.flatnonzero(settled & (cover > dist))
+        self._rank_verts.append(labelled)
+        self._rank_dists.append(dist[labelled].copy())
+        for v in labelled[self._hub_mask[labelled]].tolist():
+            self._hub_label[v].append((rank, float(dist[v])))
+        return int(labelled.size)
+
+    def total_label_entries(self) -> int:
+        return sum(int(rv.size) for rv in self._rank_verts)
+
+    def label_arrays(self) -> Tuple[List[int], List[int], List[float]]:
+        """The committed labels as canonical flat arrays
+        ``(offsets, label_hubs, label_dists)`` -- plain Python lists,
+        per-vertex segments ordered by hub processing rank, exactly the
+        scalar builder's dict insertion order."""
+        np = self._np
+        if len(self._rank_verts) != len(self._planned):
+            raise ValueError(
+                f"only {len(self._rank_verts)} of {len(self._planned)}"
+                " planned hubs were added")
+        if not self._rank_verts or self.total_label_entries() == 0:
+            return [0] * (self._n + 1), [], []
+        all_v = np.concatenate(self._rank_verts)
+        all_r = np.concatenate(
+            [np.full(rv.size, r, dtype=np.int64)
+             for r, rv in enumerate(self._rank_verts)])
+        all_d = np.concatenate(self._rank_dists)
+        # Stable sort by vertex turns the rank-major concatenation into
+        # vertex-major segments with ranks ascending inside each.
+        order = np.argsort(all_v, kind="stable")
+        counts = np.bincount(all_v, minlength=self._n)
+        offsets = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        hub_ids = np.asarray(self._planned, dtype=np.int64)
+        return (offsets.tolist(), hub_ids[all_r[order]].tolist(),
+                all_d[order].tolist())
+
+
+def vec_pruned_labeling(network: Union[RoadNetwork, CSRGraph],
+                        hubs: Sequence[int],
+                        ) -> Tuple[List[int], List[int], List[float]]:
+    """Run the batched PLL build over ``hubs`` (in order) and return
+    the canonical flat label arrays ``(offsets, label_hubs,
+    label_dists)`` -- entry-for-entry identical to the scalar
+    :class:`~repro.shortestpath.hub_labels.HubLabelIndex` built with
+    ``hubs=hubs`` (see :class:`VecHubLabeler`)."""
+    labeler = VecHubLabeler(network, hubs)
+    for hub in labeler.planned:
+        labeler.add_hub(hub)
+    return labeler.label_arrays()
+
+
+# ----------------------------------------------------------------------
 # Vectorized hub-label scratch
 # ----------------------------------------------------------------------
 

@@ -135,6 +135,35 @@ class TestBenchSchema:
         assert any("negative" in p for p in problems)
         assert any("repeats" in p for p in problems)
 
+    def test_p95_claim_rejected_at_repeats_one(self):
+        """A single sample has no tail: a row carrying p95_seconds with
+        repeats == 1 must be rejected."""
+        row = bench_row("e", "d", self._measure())
+        row["repeats"] = 1
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("p95_seconds" in p and "single sample" in p
+                   for p in problems)
+
+    def test_single_run_rows_omit_p95(self):
+        """bench_row drops the field for unrepeated measures, and the
+        validator accepts the result."""
+        row = bench_row("e", "d", AlgorithmMeasure("A", 0.7, 5))
+        assert "p95_seconds" not in row
+        assert row["repeats"] == 1
+        assert validate_bench_payload(bench_payload([row])) == []
+
+    def test_p95_required_with_repeats(self):
+        row = bench_row("e", "d", self._measure())
+        del row["p95_seconds"]
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("p95_seconds" in p for p in problems)
+
+    def test_p95_type_checked_when_present(self):
+        row = bench_row("e", "d", self._measure())
+        row["p95_seconds"] = "fast"
+        problems = validate_bench_payload(bench_payload([row]))
+        assert any("p95_seconds is not a number" in p for p in problems)
+
     def test_write_bench_json_roundtrip(self, tmp_path):
         path = tmp_path / "BENCH_test.json"
         write_bench_json(path, [bench_row("e", "d", self._measure())])

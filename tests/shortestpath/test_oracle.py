@@ -70,6 +70,39 @@ class TestPolicyResolution:
         assert build_oracle(network, "none", bridges) is None
         assert build_oracle(network, "auto", []) is None
 
+    def test_resolve_does_not_consume_sized_iterables(self):
+        """Regression: the 'auto' emptiness probe used to drain its
+        argument with ``any()``; sized containers must come back
+        untouched."""
+        class CountingBridges(list):
+            def __init__(self, items):
+                super().__init__(items)
+                self.iterated = False
+
+            def __iter__(self):
+                self.iterated = True
+                return super().__iter__()
+
+        bridges = CountingBridges([(0, 1), (2, 3)])
+        assert resolve_oracle_kind("auto", bridges) == "hub"
+        assert not bridges.iterated
+        assert list(bridges) == [(0, 1), (2, 3)]
+
+    def test_resolve_accepts_generators(self):
+        assert resolve_oracle_kind("auto", (b for b in [(0, 1)])) == "hub"
+        assert resolve_oracle_kind("auto", (b for b in [])) == "none"
+
+    def test_build_oracle_accepts_generator_bridges(self, bridged):
+        """Regression: build_oracle drained a generator in the resolve
+        probe and then built a hub oracle over *no* endpoints.  A
+        generator must now yield the same oracle as the list."""
+        network, bridges = bridged
+        from_list = build_oracle(network, "auto", bridges)
+        from_gen = build_oracle(network, "auto", (b for b in bridges))
+        assert from_gen is not None
+        assert from_gen.hub_order == from_list.hub_order
+        assert from_gen.to_payload() == from_list.to_payload()
+
 
 class TestHubOracle:
     @pytest.fixture(scope="class")
@@ -123,6 +156,21 @@ class TestHubOracle:
         text = oracle.describe()
         assert "hub" in text
         assert str(len(oracle.hub_order)) in text
+
+    def test_numpy_engine_degrades_to_scalar_builder(self, bridged,
+                                                     oracle, monkeypatch):
+        """engine='numpy' without a backend (REPRO_VEC_DISABLE) must run
+        the scalar builder and produce the identical oracle (the
+        standard engine-registry fallback)."""
+        from repro.vec.backend import ENV_DISABLE, reset_backend_probe
+        network, bridges = bridged
+        monkeypatch.setenv(ENV_DISABLE, "1")
+        reset_backend_probe()
+        try:
+            degraded = HubOracle.build(network, bridges, engine="numpy")
+        finally:
+            reset_backend_probe()
+        assert degraded.to_payload() == oracle.to_payload()
 
 
 class TestCHOracle:

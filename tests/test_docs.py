@@ -24,7 +24,7 @@ PHASE_LABELS = {
 
 # Span labels the index build records.
 TRACE_LABELS = ["bridges", "contour", "labeling", "cuts", "flood",
-                "pockets", "oracle"]
+                "pockets", "oracle", "pll-scalar", "pll-vectorized"]
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +126,17 @@ class TestObservabilityDoc:
                        "repro_build_info", "vec_backend",
                        "available_engines", "--engine {flat,dict,numpy}",
                        "--version"):
+            assert needle in observability_doc, (
+                f"{needle!r} missing from docs/observability.md")
+
+    def test_documents_vectorized_build_surfaces(self,
+                                                 observability_doc):
+        """PR 9 surfaces: the batched oracle builder's span names, the
+        engine attribution field and the build microbenchmark gate must
+        stay documented."""
+        for needle in ("pll-scalar", "pll-vectorized", "oracle_engine",
+                       "bench build", "BUILD_CHECK_RATIO",
+                       "FIG10_REPEATS"):
             assert needle in observability_doc, (
                 f"{needle!r} missing from docs/observability.md")
 
@@ -268,5 +279,13 @@ class TestReadmeLinks:
                        "minimum.reduceat", "result equivalence",
                        "REPRO_VEC_DISABLE", "resolve_engine",
                        "repro[vec]"):
+            assert needle in doc, (
+                f"{needle!r} missing from docs/architecture.md")
+
+    def test_architecture_doc_covers_vectorized_build(self):
+        doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("VecHubLabeler", "vec_pruned_labeling",
+                       "FloodEngine", "bucketed", "byte-identical",
+                       "CuPy", "BUILD_CHECK_RATIO", "bench build"):
             assert needle in doc, (
                 f"{needle!r} missing from docs/architecture.md")
